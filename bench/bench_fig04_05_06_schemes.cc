@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Figures 4-6: processing power of the four coherence
+ * schemes versus number of processors on a bus, at low, medium, and
+ * high settings of ls and shd (all other parameters at middle values).
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+
+namespace
+{
+
+using namespace swcc;
+
+void
+runFigure(const char *title, Level level, unsigned max_cpus)
+{
+    const WorkloadParams params = sharingScenario(level);
+    std::cout << "=== " << title << " (ls=" << formatNumber(params.ls, 2)
+              << ", shd=" << formatNumber(params.shd, 2) << ") ===\n\n";
+
+    TextTable table({"cpus", "Ideal", "Base", "Dragon", "Software-Flush",
+                     "No-Cache"});
+    for (unsigned n = 1; n <= max_cpus; ++n) {
+        table.addRow(
+            {formatNumber(n, 0), formatNumber(n, 0),
+             formatNumber(
+                 evaluateBus(Scheme::Base, params, n).processingPower, 2),
+             formatNumber(
+                 evaluateBus(Scheme::Dragon, params, n).processingPower,
+                 2),
+             formatNumber(evaluateBus(Scheme::SoftwareFlush, params, n)
+                              .processingPower,
+                          2),
+             formatNumber(
+                 evaluateBus(Scheme::NoCache, params, n).processingPower,
+                 2)});
+    }
+    table.print(std::cout);
+    exportCsv(table, std::string("fig04_05_06_schemes_") +
+                         std::string(levelName(level)));
+
+    AsciiChart chart(56, 16);
+    chart.addSeries(idealPowerSeries(max_cpus));
+    for (Scheme scheme : kAllSchemes) {
+        chart.addSeries(busPowerSeries(scheme, params, max_cpus));
+    }
+    chart.setAxisTitles("processors", "processing power");
+    chart.print(std::cout);
+
+    std::cout << "bus-bandwidth ceilings (1/b):";
+    for (Scheme scheme : kAllSchemes) {
+        const PerInstructionCost cost = perInstructionCost(
+            operationFrequencies(scheme, params), BusCostModel());
+        std::cout << "  " << schemeName(scheme) << "="
+                  << formatNumber(busSaturationPower(cost), 1);
+    }
+    std::cout << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    runFigure("Figure 4: low sharing scenario", Level::Low, 16);
+    runFigure("Figure 5: medium sharing scenario", Level::Middle, 16);
+    runFigure("Figure 6: high sharing scenario", Level::High, 16);
+
+    std::cout
+        << "Paper's claims: Base best whenever ls > 0; Dragon close to "
+           "Base throughout;\n"
+           "No-Cache viable only at low sharing (saturates below power "
+           "2 at high sharing);\n"
+           "Software-Flush (medium apl) good to ~8-10 CPUs at medium "
+           "sharing, saturates\n"
+           "below power 5 at high sharing.\n";
+    return 0;
+}

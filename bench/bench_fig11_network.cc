@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Figure 11: processor utilization in a 256-processor
+ * (8-stage) circuit-switched network versus transaction request rate,
+ * for average message sizes of 1, 2, 4, 8 and 16 words (network time
+ * per message = size + 2n), with the nine Base/Software-Flush/No-Cache
+ * low/middle/high operating points marked.
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+
+int
+main()
+{
+    using namespace swcc;
+
+    constexpr unsigned kStages = 8;
+
+    std::cout << "=== Figure 11: 256-processor network utilization vs "
+                 "request rate ===\n\n";
+
+    // Raw curves: compute fraction vs transaction rate per message size.
+    const std::vector<double> rates = logspace(0.001, 0.2, 14);
+    TextTable table({"rate", "msg=1w", "msg=2w", "msg=4w", "msg=8w",
+                     "msg=16w"});
+    std::vector<Series> curves;
+    for (double words : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        curves.push_back(
+            networkUtilizationSeries(kStages, words, rates));
+    }
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        std::vector<std::string> row{formatNumber(rates[i], 4)};
+        for (const Series &curve : curves) {
+            row.push_back(formatNumber(curve.points[i].y, 3));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    exportCsv(table, "fig11_network_curves");
+
+    AsciiChart chart(56, 14);
+    for (const Series &curve : curves) {
+        chart.addSeries(curve);
+    }
+    chart.setAxisTitles("transactions per computing cycle",
+                        "compute fraction U");
+    chart.print(std::cout);
+
+    // The paper's spot check: 3% miss rate, 4-word messages.
+    std::cout << "\nSpot check (paper): miss rate 3%, message 4 words "
+                 "-> unit-request rate "
+              << formatNumber(0.03 * (16 + 4), 2) << ", utilization "
+              << formatNumber(solveComputeFraction(0.03, 20.0, kStages),
+                              3)
+              << " (the paper reports roughly one half).\n\n";
+
+    // Nine scheme operating points: Bl..Nh.
+    std::cout << "Scheme operating points (256 processors):\n\n";
+    TextTable points({"point", "scheme", "range", "m (trans/cycle)",
+                      "t (cycles)", "U (compute)", "cycles/instr",
+                      "power"});
+    for (Scheme scheme : {Scheme::Base, Scheme::SoftwareFlush,
+                          Scheme::NoCache}) {
+        for (Level level : kAllLevels) {
+            WorkloadParams params = paramsAtLevel(level);
+            const NetworkSolution sol =
+                evaluateNetwork(scheme, params, kStages);
+            const char scheme_letter =
+                scheme == Scheme::Base
+                    ? 'B'
+                    : scheme == Scheme::SoftwareFlush ? 'S' : 'N';
+            const char level_letter = level == Level::Low
+                ? 'l'
+                : level == Level::Middle ? 'm' : 'h';
+            points.addRow(
+                {std::string{scheme_letter, level_letter},
+                 std::string(schemeName(scheme)),
+                 std::string(levelName(level)),
+                 formatNumber(sol.transactionRate, 4),
+                 formatNumber(sol.network, 2),
+                 formatNumber(sol.computeFraction, 3),
+                 formatNumber(sol.cyclesPerInstruction, 2),
+                 formatNumber(sol.processingPower, 1)});
+        }
+    }
+    points.print(std::cout);
+    exportCsv(points, "fig11_scheme_points");
+
+    std::cout
+        << "\nPaper's claims: the nine points fall into two classes - "
+           "B in all ranges,\n"
+           "S low/middle and N low are reasonable; the others are much "
+           "poorer. Keeping\n"
+           "the network reference rate low matters more than message "
+           "size.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark timings for the trace generator, the
+ * multiprocessor simulator, and the omega-network simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/swcc.hh"
+#include "sim/mp/param_extractor.hh"
+#include "sim/mp/system.hh"
+#include "sim/net/omega_network.hh"
+#include "sim/synth/app_profiles.hh"
+#include "sim/synth/trace_generator.hh"
+
+namespace
+{
+
+using namespace swcc;
+
+const TraceBuffer &
+sharedTrace()
+{
+    static const TraceBuffer trace = generateTrace(
+        profileConfig(AppProfile::PopsLike, 4, 50'000, 3, true));
+    return trace;
+}
+
+CacheConfig
+cache64k()
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 1024;
+    config.blockBytes = 16;
+    return config;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto cpus = static_cast<unsigned>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        const TraceBuffer trace = generateTrace(
+            profileConfig(AppProfile::PopsLike, cpus, 20'000, 5, false));
+        events += trace.size();
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_Simulation(benchmark::State &state)
+{
+    const Scheme scheme = static_cast<Scheme>(state.range(0));
+    const TraceBuffer &trace = sharedTrace();
+    const SharedClassifier shared =
+        profileConfig(AppProfile::PopsLike, 4, 1, 1, false)
+            .sharedClassifier();
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        MultiprocessorSystem system(scheme, cache64k(), 4, shared);
+        benchmark::DoNotOptimize(system.run(trace).makespan);
+        events += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.SetLabel(std::string(schemeName(scheme)));
+}
+BENCHMARK(BM_Simulation)->DenseRange(0, 3);
+
+void
+BM_ParameterExtraction(benchmark::State &state)
+{
+    const TraceBuffer &trace = sharedTrace();
+    const SharedClassifier shared =
+        profileConfig(AppProfile::PopsLike, 4, 1, 1, false)
+            .sharedClassifier();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            extractParams(trace, cache64k(), shared).params.ls);
+    }
+}
+BENCHMARK(BM_ParameterExtraction);
+
+void
+BM_OmegaNetwork(benchmark::State &state)
+{
+    const unsigned stages = static_cast<unsigned>(state.range(0));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        OmegaConfig config;
+        config.stages = stages;
+        config.meanThink = 25.0;
+        config.messageCycles = 12.0;
+        OmegaNetwork network(config);
+        benchmark::DoNotOptimize(network.run(5'000).accepted);
+        cycles += 5'000;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_OmegaNetwork)->Arg(4)->Arg(6)->Arg(8);
+
+} // namespace

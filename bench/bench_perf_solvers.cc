@@ -1,0 +1,87 @@
+/**
+ * @file
+ * google-benchmark timings for the analytical solvers. The paper's
+ * argument for an analytical model over simulation is evaluation
+ * speed; these benchmarks quantify it (full model evaluations run in
+ * microseconds, versus seconds for a trace-driven simulation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/swcc.hh"
+
+namespace
+{
+
+using namespace swcc;
+
+void
+BM_OperationFrequencies(benchmark::State &state)
+{
+    const WorkloadParams params = middleParams();
+    const Scheme scheme = static_cast<Scheme>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(operationFrequencies(scheme, params));
+    }
+}
+BENCHMARK(BM_OperationFrequencies)->DenseRange(0, 3);
+
+void
+BM_BusSolve(benchmark::State &state)
+{
+    const WorkloadParams params = middleParams();
+    const BusCostModel costs;
+    const PerInstructionCost cost = perInstructionCost(
+        operationFrequencies(Scheme::SoftwareFlush, params), costs);
+    const unsigned processors = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solveBus(cost, processors));
+    }
+}
+BENCHMARK(BM_BusSolve)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_NetworkFixedPoint(benchmark::State &state)
+{
+    const unsigned stages = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            solveComputeFraction(0.03, 12.0, stages));
+    }
+}
+BENCHMARK(BM_NetworkFixedPoint)->Arg(2)->Arg(8)->Arg(12);
+
+void
+BM_FullBusEvaluation(benchmark::State &state)
+{
+    const WorkloadParams params = middleParams();
+    for (auto _ : state) {
+        for (Scheme scheme : kAllSchemes) {
+            benchmark::DoNotOptimize(evaluateBus(scheme, params, 16));
+        }
+    }
+}
+BENCHMARK(BM_FullBusEvaluation);
+
+void
+BM_FullNetworkEvaluation(benchmark::State &state)
+{
+    const WorkloadParams params = middleParams();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            evaluateNetwork(Scheme::SoftwareFlush, params, 8));
+    }
+}
+BENCHMARK(BM_FullNetworkEvaluation);
+
+void
+BM_SensitivityTable(benchmark::State &state)
+{
+    SensitivityConfig config;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensitivityTable(config));
+    }
+}
+BENCHMARK(BM_SensitivityTable);
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reproduces the paper's definitional tables: Table 1 (bus system
+ * model), Table 2 (workload parameters), Tables 3-6 (per-scheme
+ * operation frequencies, evaluated at the middle operating point),
+ * Table 7 (parameter ranges), and Table 9 (network system model).
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+
+namespace
+{
+
+using namespace swcc;
+
+void
+printTable1()
+{
+    std::cout << "Table 1: System model: CPU and bus time for hardware "
+                 "operations\n\n";
+    const BusCostModel costs;
+    TextTable table({"Operation", "CPU Time", "Bus Time"});
+    for (Operation op : kAllOperations) {
+        const OpCost cost = costs.cost(op);
+        table.addRow({std::string(operationName(op)),
+                      formatNumber(cost.cpu, 0),
+                      formatNumber(cost.channel, 0)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+printTable2()
+{
+    std::cout << "Table 2: Parameters for the Workload Model\n\n";
+    TextTable table({"Parameter", "Description"});
+    for (ParamId id : kAllParams) {
+        table.addRow({std::string(paramName(id)),
+                      std::string(paramDescription(id))});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+printFrequencyTable(Scheme scheme, const char *title)
+{
+    std::cout << title << " (evaluated at the middle operating point)\n\n";
+    const WorkloadParams params = middleParams();
+    const FrequencyVector freqs = operationFrequencies(scheme, params);
+    TextTable table({"Operation", "Frequency per instruction"});
+    for (Operation op : kAllOperations) {
+        if (op == Operation::InstrExec || freqs.of(op) == 0.0) {
+            continue;
+        }
+        table.addRow({std::string(operationName(op)),
+                      formatNumber(freqs.of(op), 6)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+printTable7()
+{
+    std::cout << "Table 7: Parameter ranges\n\n";
+    TextTable table({"Parameter", "Low", "Middle", "High"});
+    for (ParamId id : kAllParams) {
+        table.addRow({std::string(paramName(id)),
+                      formatNumber(paramLevelValue(id, Level::Low), 4),
+                      formatNumber(paramLevelValue(id, Level::Middle), 4),
+                      formatNumber(paramLevelValue(id, Level::High), 4)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+printTable9()
+{
+    std::cout << "Table 9: System model for a network with n stages\n\n";
+    TextTable table({"Operation", "CPU Time", "Network Time",
+                     "CPU (n=4)", "Net (n=4)"});
+    const NetworkCostModel costs(4);
+    const struct
+    {
+        Operation op;
+        const char *cpu_formula;
+        const char *net_formula;
+    } rows[] = {
+        {Operation::InstrExec, "1", "0"},
+        {Operation::CleanMissMem, "9 + 2n", "6 + 2n"},
+        {Operation::DirtyMissMem, "12 + 2n", "9 + 2n"},
+        {Operation::CleanFlush, "1", "0"},
+        {Operation::DirtyFlush, "7 + 2n", "5 + 2n"},
+        {Operation::WriteThrough, "3 + 2n", "2 + 2n"},
+        {Operation::ReadThrough, "4 + 2n", "3 + 2n"},
+    };
+    for (const auto &row : rows) {
+        const OpCost cost = costs.cost(row.op);
+        table.addRow({std::string(operationName(row.op)),
+                      row.cpu_formula, row.net_formula,
+                      formatNumber(cost.cpu, 0),
+                      formatNumber(cost.channel, 0)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Owicki-Agarwal model definition tables ===\n\n";
+    printTable1();
+    printTable2();
+    printFrequencyTable(Scheme::Base, "Table 3: Workload model: Base");
+    printFrequencyTable(Scheme::NoCache,
+                        "Table 4: Workload model: No-Cache");
+    printFrequencyTable(Scheme::SoftwareFlush,
+                        "Table 5: Workload model: Software-Flush");
+    printFrequencyTable(Scheme::Dragon,
+                        "Table 6: Workload model: Dragon");
+    printTable7();
+    printTable9();
+    return 0;
+}

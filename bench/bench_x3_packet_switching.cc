@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Extension X3: packet switching. The paper's conclusion conjectures
+ * "Use of packet-switching would be more favorable to No-Cache"; this
+ * experiment (a) validates the buffered packet-network model against
+ * the cycle-level packet simulator and (b) quantifies the conjecture
+ * by re-running the scheme comparison under packet switching.
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+#include "sim/net/net_experiment.hh"
+
+int
+main()
+{
+    using namespace swcc;
+
+    std::cout << "=== X3a: Kruskal-Snir packet model vs packet "
+                 "simulator (64 ports) ===\n\n";
+    TextTable val({"think", "sim U", "model U", "error %", "sim lat",
+                   "model lat", "sim load", "model load"});
+    for (double think : {100.0, 50.0, 30.0, 20.0, 15.0, 12.0}) {
+        const PacketValidationPoint p =
+            validatePacketPoint(think, 1, 4, 6, 120'000, 13);
+        val.addRow({formatNumber(think, 0),
+                    formatNumber(p.simCompute, 3),
+                    formatNumber(p.modelCompute, 3),
+                    formatNumber(p.computeErrorPercent(), 1),
+                    formatNumber(p.simLatency, 1),
+                    formatNumber(p.modelLatency, 1),
+                    formatNumber(p.simLinkLoad, 3),
+                    formatNumber(p.modelLinkLoad, 3)});
+    }
+    val.print(std::cout);
+
+    std::cout << "\n=== X3b: circuit vs packet switching, 256 "
+                 "processors ===\n\n";
+    for (Level level : kAllLevels) {
+        const WorkloadParams params = paramsAtLevel(level);
+        std::cout << "--- " << levelName(level)
+                  << " parameter range ---\n";
+        TextTable table({"scheme", "circuit power", "packet power",
+                         "packet/circuit"});
+        for (Scheme scheme : {Scheme::Base, Scheme::SoftwareFlush,
+                              Scheme::NoCache}) {
+            const double circuit =
+                evaluateNetwork(scheme, params, 8).processingPower;
+            const double packet =
+                solvePacketNetwork(scheme, params, 8).processingPower;
+            table.addRow({std::string(schemeName(scheme)),
+                          formatNumber(circuit, 1),
+                          formatNumber(packet, 1),
+                          formatNumber(packet / circuit, 2) + "x"});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "=== X3c: how much buffering do the switches need? "
+                 "(64 ports, think 15) ===\n\n";
+    TextTable buffers({"buffer words/port", "transactions",
+                       "compute U", "max queue", "backpressure "
+                       "stalls"});
+    for (unsigned depth : {1u, 2u, 4u, 8u, 0u}) {
+        PacketNetConfig config;
+        config.stages = 6;
+        config.meanThink = 15.0;
+        config.requestWords = 1;
+        config.responseWords = 4;
+        config.bufferWords = depth;
+        config.seed = 77;
+        PacketOmegaNetwork network(config);
+        const PacketNetStats stats = network.run(60'000);
+        buffers.addRow(
+            {depth == 0 ? "unbounded" : formatNumber(depth, 0),
+             formatNumber(static_cast<double>(stats.transactions), 0),
+             formatNumber(stats.computeFraction, 3),
+             formatNumber(static_cast<double>(stats.maxQueueDepth), 0),
+             formatNumber(static_cast<double>(stats.backpressureStalls),
+                          0)});
+    }
+    buffers.print(std::cout);
+    std::cout << "\nA handful of words per port already matches the "
+                 "infinite-buffer model the\nanalysis assumes.\n\n";
+
+    std::cout
+        << "Finding: packet switching removes the per-message 2n "
+           "circuit-setup cost, which\nis exactly what punishes "
+           "No-Cache's many small messages — its speedup is the\n"
+           "largest of the three schemes at every parameter range, "
+           "confirming the paper's\nconjecture quantitatively.\n";
+    return 0;
+}

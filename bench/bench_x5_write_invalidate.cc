@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension X5: write-update (Dragon) versus write-invalidate
+ * (Illinois/MESI-style) — reproducing the Archibald & Baer comparison
+ * that led the paper to adopt Dragon, on this repository's traces and
+ * in its analytical formalism.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "core/swcc.hh"
+#include "sim/cache/invalidate_protocol.hh"
+#include "sim/mp/system.hh"
+#include "sim/synth/app_profiles.hh"
+#include "sim/synth/trace_generator.hh"
+
+int
+main()
+{
+    using namespace swcc;
+
+    std::cout << "=== X5: Dragon (write-update) vs write-invalidate "
+                 "snooping ===\n\n";
+
+    std::cout << "Simulator, 4 CPUs, 64KB caches:\n\n";
+    TextTable sim_table({"profile", "Dragon power", "Invalidate power",
+                         "Dragon bus ops", "Invalidate bus ops",
+                         "coherence misses", "measured reref"});
+    for (AppProfile profile : kAllProfiles) {
+        const SyntheticWorkloadConfig workload =
+            profileConfig(profile, 4, 120'000, 55, false);
+        const TraceBuffer trace = generateTrace(workload);
+
+        CacheConfig cache;
+        cache.sizeBytes = 64 * 1024;
+        cache.blockBytes = 16;
+
+        MultiprocessorSystem dragon_system(Scheme::Dragon, cache, 4);
+        const SimStats dragon = dragon_system.run(trace);
+
+        auto protocol =
+            std::make_unique<InvalidateProtocol>(cache, 4);
+        const InvalidateProtocol &inval_protocol = *protocol;
+        MultiprocessorSystem inval_system(std::move(protocol));
+        const SimStats inval = inval_system.run(trace);
+
+        sim_table.addRow(
+            {std::string(profileName(profile)),
+             formatNumber(dragon.processingPower(), 3),
+             formatNumber(inval.processingPower(), 3),
+             formatNumber(static_cast<double>(
+                 dragon.opCount(Operation::WriteBroadcast)), 0),
+             formatNumber(static_cast<double>(
+                 inval.opCount(Operation::WriteBroadcast)), 0),
+             formatNumber(static_cast<double>(
+                 inval_protocol.measurements().coherenceMisses), 0),
+             formatNumber(
+                 inval_protocol.measurements().rerefFraction(), 3)});
+    }
+    sim_table.print(std::cout);
+
+    std::cout << "\nAnalytical model, 16 CPUs, medium parameters, "
+                 "sweeping the write-run length:\n\n";
+    TextTable model_table({"apl", "firstWrite", "Dragon", "Invalidate "
+                           "(reref .2)", "Invalidate (reref .8)"});
+    for (double apl : {2.0, 4.0, 8.0, 16.0, 64.0}) {
+        WorkloadParams params = middleParams();
+        params.apl = apl;
+        const double first =
+            InvalidateModelConfig::firstWriteFromRun(params);
+        auto inval_power = [&](double reref) {
+            InvalidateModelConfig config;
+            config.firstWriteFraction = first;
+            config.rerefFraction = reref;
+            return evaluateInvalidateBus(params, 16, config)
+                .processingPower;
+        };
+        model_table.addRow(
+            {formatNumber(apl, 0), formatNumber(first, 2),
+             formatNumber(
+                 evaluateBus(Scheme::Dragon, params, 16)
+                     .processingPower, 2),
+             formatNumber(inval_power(0.2), 2),
+             formatNumber(inval_power(0.8), 2)});
+    }
+    model_table.print(std::cout);
+
+    std::cout
+        << "\nFindings: on fine-grain critical-section workloads the "
+           "protocols are close,\nwith Dragon ahead when invalidated "
+           "copies are promptly re-read (high reref)\nand invalidation "
+           "ahead on long private write runs (low firstWrite, low\n"
+           "reref) — the classic update-vs-invalidate trade-off behind "
+           "the paper's choice\nof Dragon as its hardware yardstick.\n";
+    return 0;
+}

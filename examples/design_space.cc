@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Design-space explorer: which coherence scheme should a machine
+ * designer pick for a given expected workload?
+ *
+ * Sweeps sharing level and apl and prints, for each (shd, apl) cell,
+ * the scheme with the highest processing power — reproducing the
+ * paper's conclusion that software schemes win only in favourable
+ * workload regions while snoopy hardware is robust everywhere.
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+
+namespace
+{
+
+using namespace swcc;
+
+char
+bestSchemeLetter(const WorkloadParams &params, unsigned cpus,
+                 bool software_only)
+{
+    double best_power = -1.0;
+    Scheme best = Scheme::Base;
+    for (Scheme scheme : {Scheme::Dragon, Scheme::SoftwareFlush,
+                          Scheme::NoCache}) {
+        if (software_only && scheme == Scheme::Dragon) {
+            continue;
+        }
+        const double power =
+            evaluateBus(scheme, params, cpus).processingPower;
+        if (power > best_power) {
+            best_power = power;
+            best = scheme;
+        }
+    }
+    switch (best) {
+      case Scheme::Dragon:        return 'D';
+      case Scheme::SoftwareFlush: return 'S';
+      case Scheme::NoCache:       return 'N';
+      default:                    return '?';
+    }
+}
+
+void
+winnerMap(unsigned cpus, bool software_only)
+{
+    std::cout << (software_only
+                      ? "Best *software* scheme"
+                      : "Best scheme (D=Dragon, S=Software-Flush, "
+                        "N=No-Cache)")
+              << " on a " << cpus << "-processor bus:\n\n";
+    const std::vector<double> shds = {0.02, 0.05, 0.1, 0.2, 0.3, 0.42};
+    const std::vector<double> apls = {1, 2, 4, 8, 16, 32, 128};
+
+    TextTable table([&] {
+        std::vector<std::string> headers{"shd \\ apl"};
+        for (double apl : apls) {
+            headers.push_back(formatNumber(apl, 0));
+        }
+        return headers;
+    }());
+    for (double shd : shds) {
+        std::vector<std::string> row{formatNumber(shd, 2)};
+        for (double apl : apls) {
+            WorkloadParams params = middleParams();
+            params.shd = shd;
+            params.apl = apl;
+            row.push_back(std::string(
+                1, bestSchemeLetter(params, cpus, software_only)));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+hardwareWorthIt()
+{
+    std::cout << "How much performance does hardware coherence buy "
+                 "over the best software\nscheme? (16 CPUs, ratio "
+                 "Dragon / best-software)\n\n";
+    TextTable table({"shd", "apl=2", "apl=8", "apl=32", "apl=128"});
+    for (double shd : {0.05, 0.15, 0.25, 0.42}) {
+        std::vector<std::string> row{formatNumber(shd, 2)};
+        for (double apl : {2.0, 8.0, 32.0, 128.0}) {
+            WorkloadParams params = middleParams();
+            params.shd = shd;
+            params.apl = apl;
+            const double dragon =
+                evaluateBus(Scheme::Dragon, params, 16).processingPower;
+            const double swf =
+                evaluateBus(Scheme::SoftwareFlush, params, 16)
+                    .processingPower;
+            const double nc =
+                evaluateBus(Scheme::NoCache, params, 16).processingPower;
+            row.push_back(
+                formatNumber(dragon / std::max(swf, nc), 2) + "x");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Coherence design-space explorer ===\n\n";
+    winnerMap(16, false);
+    winnerMap(16, true);
+    hardwareWorthIt();
+    std::cout
+        << "Reading the maps: Dragon dominates almost everywhere on a "
+           "bus; Software-Flush\nonly matches it when blocks are "
+           "referenced many times between flushes and\nsharing is "
+           "light; No-Cache beats Software-Flush when apl is ~1 (every "
+           "reference\nwould flush anyway). A designer who cannot "
+           "guarantee high apl from the\ncompiler should budget for "
+           "hardware coherence — the paper's bottom line.\n";
+    return 0;
+}

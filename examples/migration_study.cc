@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Migration study: what does process migration do to cache
+ * coherence?
+ *
+ * The paper's traces contained no process migration; this example
+ * uses the generator's migration model to quantify what they missed:
+ * migrated "private" data becomes dynamically shared, which hardware
+ * coherence absorbs as extra misses but which software schemes cannot
+ * even see (the compiler's shared marking no longer covers all the
+ * sharing).
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+#include "sim/mp/param_extractor.hh"
+#include "sim/mp/system.hh"
+#include "sim/synth/app_profiles.hh"
+#include "sim/synth/trace_generator.hh"
+
+int
+main()
+{
+    using namespace swcc;
+
+    std::cout << "=== Process migration study (pops-like, 4 CPUs, "
+                 "64KB caches) ===\n\n";
+
+    CacheConfig cache;
+    cache.sizeBytes = 64 * 1024;
+    cache.blockBytes = 16;
+
+    TextTable table({"migration interval", "dynamic shd",
+                     "hidden shd (private)", "Dragon power",
+                     "Base power", "coherence cost %"});
+
+    for (std::size_t interval :
+         {std::size_t{0}, std::size_t{50'000}, std::size_t{20'000},
+          std::size_t{8'000}}) {
+        SyntheticWorkloadConfig workload =
+            profileConfig(AppProfile::PopsLike, 4, 80'000, 7, false);
+        workload.migrationIntervalInstrs = interval;
+        const TraceBuffer trace = generateTrace(workload);
+
+        // Sharing as hardware sees it vs as the compiler marked it.
+        const TraceStatistics dynamic = analyzeTrace(trace, 16);
+        TraceBuffer private_only;
+        for (const TraceEvent &event : trace) {
+            if (event.addr < SyntheticWorkloadConfig::kSharedBase) {
+                private_only.append(event);
+            }
+        }
+        const TraceStatistics hidden = analyzeTrace(private_only, 16);
+
+        MultiprocessorSystem dragon_system(Scheme::Dragon, cache, 4);
+        const SimStats dragon = dragon_system.run(trace);
+        const SimStats base = simulateTrace(Scheme::Base, trace, cache);
+
+        table.addRow(
+            {interval == 0
+                 ? "off (the paper's regime)"
+                 : formatNumber(static_cast<double>(interval), 0),
+             formatNumber(dynamic.shd, 3),
+             formatNumber(hidden.shd, 3),
+             formatNumber(dragon.processingPower(), 3),
+             formatNumber(base.processingPower(), 3),
+             formatNumber(100.0 * (base.processingPower() -
+                                   dragon.processingPower()) /
+                              base.processingPower(),
+                          1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading the table: migration inflates sharing and miss "
+           "rates for everyone\n(compare Base power), and creates "
+           "'hidden' sharing in the private segments\nthat no "
+           "compiler marking covers. A software-coherent OS must "
+           "flush the whole\ncache on every context switch to stay "
+           "correct; hardware pays only the\n'coherence cost' "
+           "column. This is why migration-heavy multiprogrammed\n"
+           "systems (the C.mmp/Elxsi use case) restricted software "
+           "schemes to\nmessage-passing-style workloads.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: evaluate the four coherence schemes on a bus-based
+ * multiprocessor at the paper's middle operating point.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/swcc.hh"
+
+int
+main()
+{
+    using namespace swcc;
+
+    // 1. Describe the workload. middleParams() is the paper's middle
+    //    operating point (Table 7); tweak any field directly.
+    WorkloadParams params = middleParams();
+    params.shd = 0.2;  // 20% of data references touch shared data.
+    params.apl = 10.0; // 10 references per shared block between flushes.
+
+    // 2. Evaluate each scheme on an 8-processor bus.
+    std::cout << "8-processor bus, shd=0.2, apl=10:\n\n";
+    TextTable table({"scheme", "cycles/instr", "bus cycles/instr",
+                     "waiting", "utilization", "processing power"});
+    for (Scheme scheme : kAllSchemes) {
+        const BusSolution sol = evaluateBus(scheme, params, 8);
+        table.addRow({std::string(schemeName(scheme)),
+                      formatNumber(sol.cpu, 3),
+                      formatNumber(sol.bus, 3),
+                      formatNumber(sol.waiting, 3),
+                      formatNumber(sol.processorUtilization, 3),
+                      formatNumber(sol.processingPower, 2)});
+    }
+    table.print(std::cout);
+
+    // 3. Where do Software-Flush's cycles actually go?
+    std::cout << "\nSoftware-Flush cost breakdown (per instruction):"
+              << "\n\n";
+    printBreakdown(costBreakdown(Scheme::SoftwareFlush, params),
+                   std::cout);
+
+    // 4. The software schemes also run on a multistage network, where
+    //    the bus's bandwidth wall disappears.
+    std::cout << "\n256-processor multistage network:\n\n";
+    TextTable net({"scheme", "compute fraction", "cycles/instr",
+                   "processing power"});
+    for (Scheme scheme : {Scheme::Base, Scheme::SoftwareFlush,
+                          Scheme::NoCache}) {
+        const NetworkSolution sol = evaluateNetwork(scheme, params, 8);
+        net.addRow({std::string(schemeName(scheme)),
+                    formatNumber(sol.computeFraction, 3),
+                    formatNumber(sol.cyclesPerInstruction, 2),
+                    formatNumber(sol.processingPower, 1)});
+    }
+    net.print(std::cout);
+
+    std::cout << "\nNext: examples/design_space explores when each "
+                 "scheme wins; examples/trace_workbench\nruns the full "
+                 "trace->simulate->extract->model validation loop.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "core/breakdown.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/report.hh"
+
+namespace swcc
+{
+
+CostContribution
+CostBreakdown::of(Operation op) const
+{
+    for (const CostContribution &item : items) {
+        if (item.op == op) {
+            return item;
+        }
+    }
+    CostContribution empty;
+    empty.op = op;
+    return empty;
+}
+
+double
+CostBreakdown::usefulShare() const
+{
+    return totalCpu > 0.0
+        ? of(Operation::InstrExec).cpuCycles / totalCpu
+        : 0.0;
+}
+
+CostBreakdown
+costBreakdown(const FrequencyVector &freqs, const CostModel &costs)
+{
+    CostBreakdown breakdown;
+    for (Operation op : kAllOperations) {
+        const double freq = freqs.of(op);
+        if (freq == 0.0) {
+            continue;
+        }
+        if (!costs.supports(op)) {
+            throw std::invalid_argument(
+                "workload uses operation '" +
+                std::string(operationName(op)) +
+                "' which the system model does not support");
+        }
+        const OpCost cost = costs.cost(op);
+        CostContribution item;
+        item.op = op;
+        item.frequency = freq;
+        item.cpuCycles = freq * cost.cpu;
+        item.channelCycles = freq * cost.channel;
+        breakdown.items.push_back(item);
+        breakdown.totalCpu += item.cpuCycles;
+        breakdown.totalChannel += item.channelCycles;
+    }
+    for (CostContribution &item : breakdown.items) {
+        item.cpuShare = breakdown.totalCpu > 0.0
+            ? item.cpuCycles / breakdown.totalCpu
+            : 0.0;
+        item.channelShare = breakdown.totalChannel > 0.0
+            ? item.channelCycles / breakdown.totalChannel
+            : 0.0;
+    }
+    std::sort(breakdown.items.begin(), breakdown.items.end(),
+              [](const CostContribution &a, const CostContribution &b) {
+                  return a.cpuCycles > b.cpuCycles;
+              });
+    return breakdown;
+}
+
+CostBreakdown
+costBreakdown(Scheme scheme, const WorkloadParams &params)
+{
+    const BusCostModel costs;
+    return costBreakdown(operationFrequencies(scheme, params), costs);
+}
+
+void
+printBreakdown(const CostBreakdown &breakdown, std::ostream &os)
+{
+    TextTable table({"operation", "freq/instr", "cpu cycles", "cpu %",
+                     "bus cycles", "bus %"});
+    for (const CostContribution &item : breakdown.items) {
+        table.addRow({std::string(operationName(item.op)),
+                      formatNumber(item.frequency, 5),
+                      formatNumber(item.cpuCycles, 4),
+                      formatNumber(100.0 * item.cpuShare, 1),
+                      formatNumber(item.channelCycles, 4),
+                      formatNumber(100.0 * item.channelShare, 1)});
+    }
+    table.addRow({"total (c, b)", "-",
+                  formatNumber(breakdown.totalCpu, 4), "100",
+                  formatNumber(breakdown.totalChannel, 4),
+                  breakdown.totalChannel > 0.0 ? "100" : "0"});
+    table.print(os);
+}
+
+} // namespace swcc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-operation cost breakdown: where a scheme's CPU and channel
+ * cycles actually go. Turns the model's aggregate c and b into the
+ * itemised accounting a designer needs to attack the right overhead.
+ */
+
+#ifndef SWCC_CORE_BREAKDOWN_HH
+#define SWCC_CORE_BREAKDOWN_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "core/frequency_model.hh"
+#include "core/types.hh"
+#include "core/workload.hh"
+
+namespace swcc
+{
+
+/** One operation's contribution to the per-instruction cost. */
+struct CostContribution
+{
+    Operation op = Operation::InstrExec;
+    /** Occurrences per instruction. */
+    double frequency = 0.0;
+    /** CPU cycles per instruction spent on this operation. */
+    Cycles cpuCycles = 0.0;
+    /** Channel (bus/network) cycles per instruction. */
+    Cycles channelCycles = 0.0;
+    /** Fraction of total CPU cycles. */
+    double cpuShare = 0.0;
+    /** Fraction of total channel cycles (0 when b is 0). */
+    double channelShare = 0.0;
+};
+
+/** Itemised per-instruction cost. */
+struct CostBreakdown
+{
+    /** Non-zero contributions, sorted by descending CPU cycles. */
+    std::vector<CostContribution> items;
+    /** Totals: c and b of Equations 1-2. */
+    Cycles totalCpu = 0.0;
+    Cycles totalChannel = 0.0;
+
+    /** Contribution of @p op (zeros if absent). */
+    CostContribution of(Operation op) const;
+
+    /** Fraction of CPU cycles that is pure instruction execution. */
+    double usefulShare() const;
+};
+
+/**
+ * Breaks down a frequency vector against a cost table.
+ *
+ * @throws std::invalid_argument if @p freqs uses an operation that
+ *         @p costs does not support.
+ */
+CostBreakdown costBreakdown(const FrequencyVector &freqs,
+                            const CostModel &costs);
+
+/** Convenience: breakdown for one of the paper's schemes on a bus. */
+CostBreakdown costBreakdown(Scheme scheme, const WorkloadParams &params);
+
+/** Renders a breakdown as an aligned table. */
+void printBreakdown(const CostBreakdown &breakdown, std::ostream &os);
+
+} // namespace swcc
+
+#endif // SWCC_CORE_BREAKDOWN_HH

@@ -1,0 +1,139 @@
+#include "core/bus_model.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace swcc
+{
+
+BusSolution
+solveBus(const PerInstructionCost &cost, unsigned processors)
+{
+    if (processors == 0) {
+        throw std::invalid_argument("need at least one processor");
+    }
+    if (cost.channel < 0.0) {
+        throw std::invalid_argument("bus demand b must be non-negative");
+    }
+    if (cost.cpu < cost.channel) {
+        throw std::invalid_argument(
+            "CPU time per instruction cannot be less than bus time");
+    }
+
+    BusSolution sol;
+    sol.processors = processors;
+    sol.cpu = cost.cpu;
+    sol.bus = cost.channel;
+
+    const double service = cost.channel;       // S = b
+    const double think = cost.thinkTime();     // Z = c - b
+
+    if (service == 0.0) {
+        // No bus traffic at all: no contention is possible.
+        sol.waiting = 0.0;
+        sol.busUtilization = 0.0;
+        sol.busQueueLength = 0.0;
+        sol.processorUtilization = 1.0 / cost.cpu;
+        sol.processingPower =
+            static_cast<double>(processors) * sol.processorUtilization;
+        return sol;
+    }
+
+    // Exact MVA for a closed network of one queueing station (the bus)
+    // plus a delay station (the processors' think time).
+    double queue = 0.0;      // Q_k: customers at the bus.
+    double response = 0.0;   // R_k: bus response time.
+    double throughput = 0.0; // X_k: transactions per cycle.
+    for (unsigned k = 1; k <= processors; ++k) {
+        response = service * (1.0 + queue);
+        throughput = static_cast<double>(k) / (think + response);
+        queue = throughput * response;
+    }
+
+    sol.waiting = response - service;
+    sol.busUtilization = throughput * service;
+    sol.busQueueLength = queue;
+    sol.processorUtilization = 1.0 / (cost.cpu + sol.waiting);
+    sol.processingPower =
+        static_cast<double>(processors) * sol.processorUtilization;
+    return sol;
+}
+
+BusSolution
+solveBusGeneralService(const PerInstructionCost &cost,
+                       unsigned processors, double scv)
+{
+    if (scv < 0.0) {
+        throw std::invalid_argument(
+            "squared coefficient of variation must be >= 0");
+    }
+    if (processors == 0) {
+        throw std::invalid_argument("need at least one processor");
+    }
+    if (cost.channel < 0.0 || cost.cpu < cost.channel) {
+        throw std::invalid_argument(
+            "per-instruction cost must satisfy 0 <= b <= c");
+    }
+
+    BusSolution sol;
+    sol.processors = processors;
+    sol.cpu = cost.cpu;
+    sol.bus = cost.channel;
+
+    const double service = cost.channel;
+    const double think = cost.thinkTime();
+
+    if (service == 0.0) {
+        sol.processorUtilization = 1.0 / cost.cpu;
+        sol.processingPower =
+            static_cast<double>(processors) * sol.processorUtilization;
+        return sol;
+    }
+
+    // Reiser's approximate MVA with a residual-service correction for
+    // non-exponential FCFS service. With one customer there is no
+    // queueing regardless of the distribution.
+    double queue = 0.0;
+    double utilization = 0.0;
+    double response = service;
+    double throughput = 1.0 / (think + response);
+    queue = throughput * response;
+    utilization = throughput * service;
+    for (unsigned k = 2; k <= processors; ++k) {
+        response = service * (1.0 + queue) -
+            (1.0 - scv) / 2.0 * utilization * service;
+        response = std::max(response, service);
+        throughput = static_cast<double>(k) / (think + response);
+        queue = throughput * response;
+        utilization = throughput * service;
+    }
+
+    sol.waiting = response - service;
+    sol.busUtilization = utilization;
+    sol.busQueueLength = queue;
+    sol.processorUtilization = 1.0 / (cost.cpu + sol.waiting);
+    sol.processingPower =
+        static_cast<double>(processors) * sol.processorUtilization;
+    return sol;
+}
+
+double
+busSaturationPower(const PerInstructionCost &cost)
+{
+    if (cost.channel == 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return 1.0 / cost.channel;
+}
+
+double
+busSaturationProcessors(const PerInstructionCost &cost)
+{
+    if (cost.channel == 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return cost.cpu / cost.channel;
+}
+
+} // namespace swcc

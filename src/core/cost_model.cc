@@ -1,0 +1,182 @@
+#include "core/cost_model.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace swcc
+{
+
+namespace
+{
+
+void
+checkCost(Operation op, OpCost cost)
+{
+    if (cost.cpu < 0.0 || cost.channel < 0.0) {
+        throw std::invalid_argument(
+            "negative cost for operation " + std::string(operationName(op)));
+    }
+    if (cost.channel > cost.cpu) {
+        throw std::invalid_argument(
+            "channel time exceeds CPU time for operation " +
+            std::string(operationName(op)));
+    }
+}
+
+} // namespace
+
+BusCostModel::BusCostModel()
+{
+    // Paper Table 1: {CPU cycles, bus cycles}.
+    costs_[operationIndex(Operation::InstrExec)]      = {1.0, 0.0};
+    costs_[operationIndex(Operation::CleanMissMem)]   = {10.0, 7.0};
+    costs_[operationIndex(Operation::DirtyMissMem)]   = {14.0, 11.0};
+    costs_[operationIndex(Operation::ReadThrough)]    = {5.0, 4.0};
+    costs_[operationIndex(Operation::WriteThrough)]   = {2.0, 1.0};
+    costs_[operationIndex(Operation::CleanFlush)]     = {1.0, 0.0};
+    costs_[operationIndex(Operation::DirtyFlush)]     = {6.0, 4.0};
+    costs_[operationIndex(Operation::WriteBroadcast)] = {2.0, 1.0};
+    costs_[operationIndex(Operation::CleanMissCache)] = {9.0, 6.0};
+    costs_[operationIndex(Operation::DirtyMissCache)] = {13.0, 10.0};
+    costs_[operationIndex(Operation::CycleSteal)]     = {1.0, 0.0};
+}
+
+OpCost
+BusCostModel::cost(Operation op) const
+{
+    return costs_[operationIndex(op)];
+}
+
+bool
+BusCostModel::supports(Operation) const
+{
+    return true;
+}
+
+void
+BusCostModel::setCost(Operation op, OpCost new_cost)
+{
+    checkCost(op, new_cost);
+    costs_[operationIndex(op)] = new_cost;
+}
+
+NetworkCostModel::NetworkCostModel(unsigned stages)
+    : stages_(stages)
+{
+    if (stages < 1) {
+        throw std::invalid_argument(
+            "a multistage network needs at least one switch stage");
+    }
+
+    const double two_n = 2.0 * static_cast<double>(stages);
+
+    supported_.fill(false);
+    costs_.fill(OpCost{});
+
+    auto set = [this](Operation op, Cycles cpu, Cycles net) {
+        costs_[operationIndex(op)] = {cpu, net};
+        supported_[operationIndex(op)] = true;
+    };
+
+    // Paper Table 9: {CPU cycles, network cycles} for an n-stage network.
+    set(Operation::InstrExec, 1.0, 0.0);
+    set(Operation::CleanMissMem, 9.0 + two_n, 6.0 + two_n);
+    set(Operation::DirtyMissMem, 12.0 + two_n, 9.0 + two_n);
+    set(Operation::CleanFlush, 1.0, 0.0);
+    set(Operation::DirtyFlush, 7.0 + two_n, 5.0 + two_n);
+    set(Operation::WriteThrough, 3.0 + two_n, 2.0 + two_n);
+    set(Operation::ReadThrough, 4.0 + two_n, 3.0 + two_n);
+}
+
+OpCost
+NetworkCostModel::cost(Operation op) const
+{
+    if (!supported_[operationIndex(op)]) {
+        throw std::invalid_argument(
+            std::string(operationName(op)) +
+            " is not defined for a multistage network (snooping "
+            "operations require a broadcast bus)");
+    }
+    return costs_[operationIndex(op)];
+}
+
+bool
+NetworkCostModel::supports(Operation op) const
+{
+    return supported_[operationIndex(op)];
+}
+
+void
+NetworkCostModel::setCost(Operation op, OpCost new_cost)
+{
+    checkCost(op, new_cost);
+    costs_[operationIndex(op)] = new_cost;
+    supported_[operationIndex(op)] = true;
+}
+
+void
+MachineParams::validate() const
+{
+    if (blockWords == 0) {
+        throw std::invalid_argument("block must hold at least one word");
+    }
+    if (memoryCycles == 0) {
+        throw std::invalid_argument(
+            "memory access takes at least one cycle");
+    }
+}
+
+BusCostModel
+makeBusCostModel(const MachineParams &machine)
+{
+    machine.validate();
+    const double words = machine.blockWords;
+    const double mem = machine.memoryCycles;
+    const double handle = machine.missHandlingCycles;
+
+    BusCostModel costs;
+    auto set = [&costs](Operation op, double bus, double extra_cpu) {
+        costs.setCost(op, {bus + extra_cpu, bus});
+    };
+    // Derivations per the paper's Section 2.1. Misses move the address
+    // plus the block; the dirty variants append the victim block; the
+    // cache-to-cache variants shave one cycle of memory access.
+    set(Operation::CleanMissMem, 1.0 + mem + words, handle);
+    set(Operation::DirtyMissMem, 1.0 + mem + 2.0 * words, handle);
+    set(Operation::ReadThrough, 2.0 + mem, 1.0);
+    set(Operation::WriteThrough, 1.0, 1.0);
+    set(Operation::DirtyFlush, words, 2.0);
+    set(Operation::WriteBroadcast, 1.0, 1.0);
+    set(Operation::CleanMissCache, mem + words, handle);
+    set(Operation::DirtyMissCache, mem + 2.0 * words, handle);
+    // InstrExec, CleanFlush and CycleSteal keep their 1-cycle costs.
+    return costs;
+}
+
+NetworkCostModel
+makeNetworkCostModel(unsigned stages, const MachineParams &machine)
+{
+    machine.validate();
+    NetworkCostModel costs(stages);
+    const double two_n = 2.0 * static_cast<double>(stages);
+    const double words = machine.blockWords;
+    const double mem = machine.memoryCycles;
+    const double handle = machine.missHandlingCycles;
+
+    // Per Section 6.1: n cycles of path setup each way, one address
+    // cycle, the memory access (overlapped with the victim transfer on
+    // dirty fetches), and pipelined word transfers.
+    const double clean = two_n + 1.0 + mem + (words - 1.0);
+    const double dirty = two_n + 1.0 + mem + 2.0 * (words - 1.0);
+    costs.setCost(Operation::CleanMissMem, {clean + handle, clean});
+    costs.setCost(Operation::DirtyMissMem, {dirty + handle, dirty});
+    const double flush = two_n + 1.0 + words;
+    costs.setCost(Operation::DirtyFlush, {flush + 2.0, flush});
+    costs.setCost(Operation::WriteThrough,
+                  {two_n + 3.0, two_n + 2.0});
+    costs.setCost(Operation::ReadThrough,
+                  {two_n + 2.0 + mem, two_n + 1.0 + mem});
+    return costs;
+}
+
+} // namespace swcc

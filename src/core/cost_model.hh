@@ -1,0 +1,174 @@
+/**
+ * @file
+ * System model: per-operation CPU and channel (bus/network) timing.
+ *
+ * Implements the paper's Table 1 (bus-based system) and Table 9
+ * (n-stage circuit-switched multistage network). Costs are mutable so
+ * that ablation studies can explore alternative machine timings.
+ */
+
+#ifndef SWCC_CORE_COST_MODEL_HH
+#define SWCC_CORE_COST_MODEL_HH
+
+#include <array>
+#include <cstddef>
+
+#include "core/operation.hh"
+#include "core/types.hh"
+
+namespace swcc
+{
+
+/**
+ * Cost of one hardware operation.
+ *
+ * @c cpu is the total processor time for the operation in the absence of
+ * contention; @c channel is the portion of that time during which the
+ * shared medium (bus or network) is held. The paper assumes bus, network
+ * switch, and CPU cycle times are equal.
+ */
+struct OpCost
+{
+    /** Total CPU cycles, including the channel-held portion. */
+    Cycles cpu = 0.0;
+    /** Cycles during which the shared channel is occupied. */
+    Cycles channel = 0.0;
+};
+
+/**
+ * Abstract per-operation cost table.
+ *
+ * Concrete tables exist for the bus machine (Table 1) and for an
+ * n-stage multistage network (Table 9). Not every operation exists on
+ * every medium: the Dragon-specific operations (write broadcast,
+ * cache-supplied misses, cycle stealing) require a snooping bus.
+ */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /**
+     * Cost of one operation.
+     *
+     * @pre supports(op)
+     */
+    virtual OpCost cost(Operation op) const = 0;
+
+    /** Whether this medium implements the operation at all. */
+    virtual bool supports(Operation op) const = 0;
+};
+
+/**
+ * Bus system model (paper Table 1).
+ *
+ * Derivation of the defaults, for a 4-word block and 1-word bus: a clean
+ * miss needs 7 bus cycles (1 address + 2 memory access + 4 data words)
+ * plus 3 CPU cycles of miss handling, 10 CPU cycles total. A dirty miss
+ * adds the 4-cycle write-back of the victim. Read-through moves one word
+ * (1 address + 2 memory + 1 data = 4 bus cycles); write-through posts
+ * the word in a single bus cycle. A dirty flush writes 4 words back
+ * using 4 bus cycles. Dragon's write broadcast posts one word (1 bus
+ * cycle); cache-supplied misses save the memory-access cycle.
+ */
+class BusCostModel : public CostModel
+{
+  public:
+    /** Builds the table with the paper's Table 1 values. */
+    BusCostModel();
+
+    OpCost cost(Operation op) const override;
+    bool supports(Operation op) const override;
+
+    /**
+     * Overrides the cost of one operation (for ablations).
+     *
+     * @param op The operation to re-cost.
+     * @param new_cost Replacement cost; channel must not exceed cpu.
+     */
+    void setCost(Operation op, OpCost new_cost);
+
+  private:
+    std::array<OpCost, kNumOperations> costs_;
+};
+
+/**
+ * Multistage-network system model (paper Table 9).
+ *
+ * Costs are functions of the number of switch stages @c n (a system with
+ * 2^n processors). A clean fetch costs 6 + 2n network cycles: n to set
+ * up the path, 1 to send the address, 2 for memory access, n for the
+ * first returning word and 3 for the remaining words of the 4-word
+ * block. CPU time adds 3 cycles of miss handling. The Dragon-specific
+ * operations are unsupported: a multistage network has no broadcast
+ * medium to snoop.
+ */
+class NetworkCostModel : public CostModel
+{
+  public:
+    /**
+     * Builds the table for a network with @p stages switch stages.
+     *
+     * @param stages Number of 2x2 switch stages (>= 1); the machine has
+     *               2^stages processors.
+     */
+    explicit NetworkCostModel(unsigned stages);
+
+    OpCost cost(Operation op) const override;
+    bool supports(Operation op) const override;
+
+    /** Number of switch stages this table was built for. */
+    unsigned stages() const { return stages_; }
+
+    /**
+     * Overrides one operation's cost (for ablations and derived
+     * machines); marks the operation supported. Snooping operations
+     * remain rejectable by never being set.
+     */
+    void setCost(Operation op, OpCost new_cost);
+
+  private:
+    unsigned stages_;
+    std::array<OpCost, kNumOperations> costs_;
+    std::array<bool, kNumOperations> supported_;
+};
+
+/**
+ * Machine parameters for deriving cost tables from first principles,
+ * generalising the paper's fixed 4-word-block, 2-cycle-memory machine.
+ *
+ * The Table 1 / Table 9 constants follow from the derivations in the
+ * paper's Sections 2.1 and 6.1; these builders re-run those
+ * derivations for arbitrary block sizes and memory latencies, enabling
+ * block-size design studies the paper holds fixed.
+ */
+struct MachineParams
+{
+    /** Cache block size in (bus-width) words. */
+    unsigned blockWords = 4;
+    /** Main-memory access latency in cycles. */
+    unsigned memoryCycles = 2;
+    /** Processor cycles to detect and process a miss. */
+    unsigned missHandlingCycles = 3;
+
+    void validate() const;
+};
+
+/**
+ * Builds a bus cost table for @p machine. With the defaults this
+ * reproduces Table 1 exactly: e.g. a clean miss holds the bus for
+ * 1 (address) + memoryCycles + blockWords cycles and adds
+ * missHandlingCycles of processor time.
+ */
+BusCostModel makeBusCostModel(const MachineParams &machine);
+
+/**
+ * Builds an n-stage network cost table for @p machine; defaults
+ * reproduce Table 9.
+ */
+NetworkCostModel makeNetworkCostModel(unsigned stages,
+                                      const MachineParams &machine);
+
+} // namespace swcc
+
+#endif // SWCC_CORE_COST_MODEL_HH

@@ -1,0 +1,65 @@
+#include "core/directory_model.hh"
+
+#include <stdexcept>
+
+#include "core/cost_model.hh"
+#include "core/per_instruction.hh"
+
+namespace swcc
+{
+
+void
+DirectoryModelConfig::validate() const
+{
+    if (!(rerefFraction >= 0.0 && rerefFraction <= 1.0)) {
+        throw std::invalid_argument(
+            "rerefFraction must lie in [0, 1]");
+    }
+}
+
+FrequencyVector
+directoryFrequencies(const WorkloadParams &p,
+                     const DirectoryModelConfig &config)
+{
+    p.validate();
+    config.validate();
+
+    FrequencyVector freqs;
+    freqs.set(Operation::InstrExec, 1.0);
+
+    // Ownership/invalidation rounds: writes to blocks with remote
+    // sharers, as in Dragon's broadcast frequency.
+    const double ownership = p.ls * p.shd * p.wr * p.opres;
+
+    // Coherence misses: invalidated remote copies re-referenced.
+    const double coherence_misses =
+        ownership * p.nshd * config.rerefFraction;
+
+    const double miss =
+        p.ls * p.msdat + p.mains + coherence_misses;
+    freqs.set(Operation::CleanMissMem, miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissMem, miss * p.md);
+
+    // Dirty-remote retrieval penalty: the directory forwards/collects
+    // the owner's copy before satisfying the miss. Shared misses only.
+    const double shared_miss =
+        p.ls * p.msdat * p.shd + coherence_misses;
+    freqs.set(Operation::ReadThrough,
+              shared_miss * (1.0 - p.oclean));
+
+    // One short round trip per ownership request.
+    freqs.set(Operation::WriteThrough, ownership);
+    return freqs;
+}
+
+NetworkSolution
+evaluateDirectoryNetwork(const WorkloadParams &params, unsigned stages,
+                         const DirectoryModelConfig &config)
+{
+    const NetworkCostModel costs(stages);
+    const FrequencyVector freqs = directoryFrequencies(params, config);
+    const PerInstructionCost cost = perInstructionCost(freqs, costs);
+    return solveNetwork(cost, stages);
+}
+
+} // namespace swcc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytical model of an invalidation-based directory coherence
+ * scheme on a multistage network — the hardware alternative the paper
+ * invokes for scale ("The performance of the Software-Flush scheme
+ * for the low range approximates the performance of hardware-based
+ * directory schemes", Section 6.3; directory schemes per Censier &
+ * Feautrier and Agarwal et al.).
+ *
+ * The model composes with the existing machinery by expressing
+ * directory activity in terms of the Table 9 network operations:
+ *
+ *  - ordinary fetches use the clean/dirty fetch costs;
+ *  - a read miss to a block dirty in a remote cache (probability
+ *    1 - oclean) costs one extra short round trip, priced as a
+ *    read-through (the directory retrieves the owner's copy);
+ *  - a write to a block with remote sharers (frequency
+ *    ls*shd*wr*opres) costs an ownership/invalidation round trip,
+ *    priced as a write-through;
+ *  - invalidations destroy nshd remote copies per ownership request;
+ *    a configurable fraction of those copies would have been
+ *    re-referenced and now miss again (coherence misses).
+ */
+
+#ifndef SWCC_CORE_DIRECTORY_MODEL_HH
+#define SWCC_CORE_DIRECTORY_MODEL_HH
+
+#include "core/frequency_model.hh"
+#include "core/network_model.hh"
+#include "core/types.hh"
+#include "core/workload.hh"
+
+namespace swcc
+{
+
+/** Tunables of the directory model. */
+struct DirectoryModelConfig
+{
+    /**
+     * Fraction of invalidated remote copies whose next reference
+     * becomes an extra (coherence) miss. 0 models an optimistic
+     * directory, 1 a worst case; 0.5 is a reasonable default for the
+     * fine-grain sharing the paper's traces show.
+     */
+    double rerefFraction = 0.5;
+
+    void validate() const;
+};
+
+/**
+ * Per-instruction operation frequencies of the directory scheme
+ * (the extension analogue of the paper's Tables 3-6).
+ */
+FrequencyVector directoryFrequencies(
+    const WorkloadParams &params,
+    const DirectoryModelConfig &config = {});
+
+/**
+ * Evaluates the directory scheme on a 2^stages-processor
+ * circuit-switched multistage network.
+ */
+NetworkSolution evaluateDirectoryNetwork(
+    const WorkloadParams &params, unsigned stages,
+    const DirectoryModelConfig &config = {});
+
+} // namespace swcc
+
+#endif // SWCC_CORE_DIRECTORY_MODEL_HH

@@ -1,0 +1,122 @@
+#include "core/frequency_model.hh"
+
+#include <stdexcept>
+
+namespace swcc
+{
+
+double
+FrequencyVector::totalMisses() const
+{
+    return of(Operation::CleanMissMem) + of(Operation::DirtyMissMem) +
+        of(Operation::CleanMissCache) + of(Operation::DirtyMissCache);
+}
+
+double
+FrequencyVector::totalChannelOperations() const
+{
+    double total = 0.0;
+    for (Operation op : kAllOperations) {
+        if (op != Operation::InstrExec && op != Operation::CycleSteal) {
+            total += of(op);
+        }
+    }
+    return total;
+}
+
+double
+flushFrequency(const WorkloadParams &params)
+{
+    return params.ls * params.shd / params.apl;
+}
+
+namespace
+{
+
+/** Paper Table 3: the coherence-free Base scheme. */
+FrequencyVector
+baseFrequencies(const WorkloadParams &p)
+{
+    FrequencyVector freqs;
+    const double miss = p.ls * p.msdat + p.mains;
+    freqs.set(Operation::InstrExec, 1.0);
+    freqs.set(Operation::CleanMissMem, miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissMem, miss * p.md);
+    return freqs;
+}
+
+/** Paper Table 4: shared data is uncacheable. */
+FrequencyVector
+noCacheFrequencies(const WorkloadParams &p)
+{
+    FrequencyVector freqs;
+    const double miss = p.ls * p.msdat * (1.0 - p.shd) + p.mains;
+    freqs.set(Operation::InstrExec, 1.0);
+    freqs.set(Operation::CleanMissMem, miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissMem, miss * p.md);
+    freqs.set(Operation::ReadThrough, p.ls * p.shd * (1.0 - p.wr));
+    freqs.set(Operation::WriteThrough, p.ls * p.shd * p.wr);
+    return freqs;
+}
+
+/**
+ * Paper Table 5: software-controlled flushing.
+ *
+ * Flush instructions appear once per apl shared references, i.e. with
+ * frequency f = ls*shd/apl per non-flush instruction. Three effects:
+ * the flush operation itself (dirty with probability mdshd), one clean
+ * refetch miss per flush (the flush frees the block's frame, so the
+ * refetch does not evict a dirty victim), and an instruction-miss
+ * inflation factor of (1 + f) because flush instructions are fetched
+ * too.
+ */
+FrequencyVector
+softwareFlushFrequencies(const WorkloadParams &p)
+{
+    FrequencyVector freqs;
+    const double f = flushFrequency(p);
+    const double miss =
+        p.ls * p.msdat * (1.0 - p.shd) + p.mains * (1.0 + f);
+    freqs.set(Operation::InstrExec, 1.0);
+    freqs.set(Operation::CleanMissMem, miss * (1.0 - p.md) + f);
+    freqs.set(Operation::DirtyMissMem, miss * p.md);
+    freqs.set(Operation::CleanFlush, f * (1.0 - p.mdshd));
+    freqs.set(Operation::DirtyFlush, f * p.mdshd);
+    return freqs;
+}
+
+/** Paper Table 6: the Dragon write-broadcast snoopy protocol. */
+FrequencyVector
+dragonFrequencies(const WorkloadParams &p)
+{
+    FrequencyVector freqs;
+    const double from_cache = p.shd * (1.0 - p.oclean);
+    const double mem_miss = p.ls * p.msdat * (1.0 - from_cache) + p.mains;
+    const double cache_miss = p.ls * p.msdat * from_cache;
+    const double broadcast = p.ls * p.shd * p.wr * p.opres;
+    freqs.set(Operation::InstrExec, 1.0);
+    freqs.set(Operation::CleanMissMem, mem_miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissMem, mem_miss * p.md);
+    freqs.set(Operation::WriteBroadcast, broadcast);
+    freqs.set(Operation::CleanMissCache, cache_miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissCache, cache_miss * p.md);
+    freqs.set(Operation::CycleSteal, broadcast * p.nshd);
+    return freqs;
+}
+
+} // namespace
+
+FrequencyVector
+operationFrequencies(Scheme scheme, const WorkloadParams &params)
+{
+    params.validate();
+    switch (scheme) {
+      case Scheme::Base:          return baseFrequencies(params);
+      case Scheme::NoCache:       return noCacheFrequencies(params);
+      case Scheme::SoftwareFlush: return softwareFlushFrequencies(params);
+      case Scheme::Dragon:        return dragonFrequencies(params);
+    }
+    throw std::invalid_argument("unknown Scheme");
+}
+
+} // namespace swcc

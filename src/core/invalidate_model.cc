@@ -1,0 +1,78 @@
+#include "core/invalidate_model.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/cost_model.hh"
+#include "core/per_instruction.hh"
+
+namespace swcc
+{
+
+void
+InvalidateModelConfig::validate() const
+{
+    if (!(rerefFraction >= 0.0 && rerefFraction <= 1.0)) {
+        throw std::invalid_argument("rerefFraction must lie in [0, 1]");
+    }
+    if (!(firstWriteFraction >= 0.0 && firstWriteFraction <= 1.0)) {
+        throw std::invalid_argument(
+            "firstWriteFraction must lie in [0, 1]");
+    }
+}
+
+double
+InvalidateModelConfig::firstWriteFromRun(const WorkloadParams &params)
+{
+    const double writes_per_run = params.wr * params.apl;
+    if (writes_per_run <= 1.0) {
+        return 1.0;
+    }
+    return 1.0 / writes_per_run;
+}
+
+FrequencyVector
+invalidateFrequencies(const WorkloadParams &p,
+                      const InvalidateModelConfig &config)
+{
+    p.validate();
+    config.validate();
+
+    FrequencyVector freqs;
+    freqs.set(Operation::InstrExec, 1.0);
+
+    // Invalidation broadcasts: the first write of each run that finds
+    // remote sharers.
+    const double invalidations =
+        p.ls * p.shd * p.wr * p.opres * config.firstWriteFraction;
+
+    // Coherence misses from destroyed copies; the writer holds the
+    // block dirty, so they are cache-supplied.
+    const double coherence =
+        invalidations * p.nshd * config.rerefFraction;
+
+    const double from_cache = p.shd * (1.0 - p.oclean);
+    const double mem_miss = p.ls * p.msdat * (1.0 - from_cache) +
+        p.mains;
+    const double cache_miss = p.ls * p.msdat * from_cache + coherence;
+
+    freqs.set(Operation::CleanMissMem, mem_miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissMem, mem_miss * p.md);
+    freqs.set(Operation::CleanMissCache, cache_miss * (1.0 - p.md));
+    freqs.set(Operation::DirtyMissCache, cache_miss * p.md);
+    freqs.set(Operation::WriteBroadcast, invalidations);
+    freqs.set(Operation::CycleSteal, invalidations * p.nshd);
+    return freqs;
+}
+
+BusSolution
+evaluateInvalidateBus(const WorkloadParams &params, unsigned processors,
+                      const InvalidateModelConfig &config)
+{
+    const BusCostModel costs;
+    const PerInstructionCost cost =
+        perInstructionCost(invalidateFrequencies(params, config), costs);
+    return solveBus(cost, processors);
+}
+
+} // namespace swcc

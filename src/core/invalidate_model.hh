@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytical model of a write-invalidate snoopy protocol on a bus —
+ * the extension counterpart of the Dragon model of Table 6, providing
+ * the Archibald & Baer write-update vs write-invalidate comparison in
+ * the paper's own formalism.
+ *
+ * Per instruction: writes to blocks with remote sharers (frequency
+ * ls*shd*wr*opres*firstWriteFraction) issue an invalidation bus
+ * operation (priced as the 1-bus-cycle word broadcast); each destroys
+ * nshd remote copies, of which a configurable fraction are
+ * re-referenced and miss again (coherence misses); coherence misses
+ * are supplied by the writing cache (it holds the block dirty).
+ * Unlike Dragon, repeat writes within one run are free — the
+ * invalidation made the line exclusive — which is captured by
+ * firstWriteFraction (the reciprocal of the mean write-run length).
+ */
+
+#ifndef SWCC_CORE_INVALIDATE_MODEL_HH
+#define SWCC_CORE_INVALIDATE_MODEL_HH
+
+#include "core/bus_model.hh"
+#include "core/frequency_model.hh"
+#include "core/types.hh"
+#include "core/workload.hh"
+
+namespace swcc
+{
+
+/** Tunables of the write-invalidate model. */
+struct InvalidateModelConfig
+{
+    /**
+     * Fraction of destroyed copies whose next reference misses
+     * (coherence misses per invalidated copy).
+     */
+    double rerefFraction = 0.5;
+    /**
+     * Fraction of shared writes that are the *first* write of a run
+     * and therefore actually broadcast an invalidation; subsequent
+     * writes hit an exclusive line. Roughly 1 / (wr * apl) capped at
+     * 1; exposed directly so measured values can be plugged in.
+     */
+    double firstWriteFraction = 0.5;
+
+    void validate() const;
+
+    /**
+     * Derives firstWriteFraction from apl and wr: a run of apl
+     * references contains about wr*apl writes, the first of which
+     * invalidates.
+     */
+    static double firstWriteFromRun(const WorkloadParams &params);
+};
+
+/**
+ * Per-instruction operation frequencies of the write-invalidate
+ * scheme.
+ */
+FrequencyVector invalidateFrequencies(
+    const WorkloadParams &params,
+    const InvalidateModelConfig &config = {});
+
+/**
+ * Evaluates the write-invalidate scheme on a bus.
+ */
+BusSolution evaluateInvalidateBus(
+    const WorkloadParams &params, unsigned processors,
+    const InvalidateModelConfig &config = {});
+
+} // namespace swcc
+
+#endif // SWCC_CORE_INVALIDATE_MODEL_HH

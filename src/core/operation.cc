@@ -1,0 +1,25 @@
+#include "core/operation.hh"
+
+namespace swcc
+{
+
+std::string_view
+operationName(Operation op)
+{
+    switch (op) {
+      case Operation::InstrExec:      return "Instruction execution";
+      case Operation::CleanMissMem:   return "Clean miss (mem)";
+      case Operation::DirtyMissMem:   return "Dirty miss (mem)";
+      case Operation::ReadThrough:    return "Read through";
+      case Operation::WriteThrough:   return "Write through";
+      case Operation::CleanFlush:     return "Clean flush";
+      case Operation::DirtyFlush:     return "Dirty flush";
+      case Operation::WriteBroadcast: return "Write broadcast";
+      case Operation::CleanMissCache: return "Clean miss (cache)";
+      case Operation::DirtyMissCache: return "Dirty miss (cache)";
+      case Operation::CycleSteal:     return "Cycle stealing";
+    }
+    return "unknown";
+}
+
+} // namespace swcc

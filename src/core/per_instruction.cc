@@ -1,0 +1,31 @@
+#include "core/per_instruction.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace swcc
+{
+
+PerInstructionCost
+perInstructionCost(const FrequencyVector &freqs, const CostModel &costs)
+{
+    PerInstructionCost result;
+    for (Operation op : kAllOperations) {
+        const double freq = freqs.of(op);
+        if (freq == 0.0) {
+            continue;
+        }
+        if (!costs.supports(op)) {
+            throw std::invalid_argument(
+                "workload uses operation '" +
+                std::string(operationName(op)) +
+                "' which the system model does not support");
+        }
+        const OpCost cost = costs.cost(op);
+        result.cpu += freq * cost.cpu;
+        result.channel += freq * cost.channel;
+    }
+    return result;
+}
+
+} // namespace swcc

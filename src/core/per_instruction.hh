@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-instruction cost aggregation (paper Equations 1 and 2).
+ */
+
+#ifndef SWCC_CORE_PER_INSTRUCTION_HH
+#define SWCC_CORE_PER_INSTRUCTION_HH
+
+#include "core/cost_model.hh"
+#include "core/frequency_model.hh"
+#include "core/types.hh"
+
+namespace swcc
+{
+
+/**
+ * Average per-instruction cost of a scheme under a workload.
+ *
+ * @c cpu is c from Equation 1 (total CPU cycles per instruction, no
+ * contention); @c channel is b from Equation 2 (cycles the shared
+ * bus/network is held per instruction). Bus transactions are thus
+ * generated at an average rate of one per (c - b) CPU cycles with an
+ * average service demand of b cycles.
+ */
+struct PerInstructionCost
+{
+    /** c: average CPU cycles per instruction without contention. */
+    Cycles cpu = 0.0;
+    /** b: average shared-channel cycles per instruction. */
+    Cycles channel = 0.0;
+
+    /** Think time between transactions, Z = c - b. */
+    Cycles thinkTime() const { return cpu - channel; }
+};
+
+/**
+ * Computes c and b by weighting the cost table with the operation
+ * frequencies (Equations 1-2).
+ *
+ * @param freqs Per-instruction operation frequencies (Tables 3-6).
+ * @param costs The system model to price operations with.
+ * @throws std::invalid_argument if @p freqs uses an operation that
+ *         @p costs does not support (e.g. Dragon on a network).
+ */
+PerInstructionCost perInstructionCost(const FrequencyVector &freqs,
+                                      const CostModel &costs);
+
+} // namespace swcc
+
+#endif // SWCC_CORE_PER_INSTRUCTION_HH

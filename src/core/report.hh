@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reporting helpers: aligned text tables, CSV emission, and ASCII
+ * charts for rendering the paper's figures in a terminal.
+ */
+
+#ifndef SWCC_CORE_REPORT_HH
+#define SWCC_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace swcc
+{
+
+/**
+ * A simple fixed-layout text table.
+ *
+ * Build with column headers, add rows of cells, then print; column
+ * widths are computed from content. Numeric cells should be formatted
+ * by the caller (see @ref formatNumber).
+ */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /**
+     * Appends one row.
+     *
+     * @throws std::invalid_argument if the cell count mismatches the
+     *         header count.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table with a header underline. */
+    void print(std::ostream &os) const;
+
+    /** Renders the table as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Formats a double with @p precision significant decimals, trimming a
+ * fixed representation ("3.1400" -> "3.14", "5.000" -> "5").
+ */
+std::string formatNumber(double value, int precision = 4);
+
+/**
+ * Writes a table as CSV under @p directory (created if missing),
+ * returning the full path. Used by the bench binaries to leave
+ * plottable data (bench_results/<name>.csv) beside their stdout
+ * reports.
+ *
+ * @throws std::runtime_error if the file cannot be written.
+ */
+std::string exportCsv(const TextTable &table, const std::string &name,
+                      const std::string &directory = "bench_results");
+
+/**
+ * Renders data series as a scatter ASCII chart.
+ *
+ * Each series gets a marker character (a, b, c, ... or the first letter
+ * of its label when unambiguous); a legend is printed underneath.
+ * Intended for eyeballing the reproduced paper figures from the bench
+ * binaries; exact values accompany the charts as tables.
+ */
+class AsciiChart
+{
+  public:
+    /**
+     * @param width Plot area width in characters.
+     * @param height Plot area height in characters.
+     */
+    AsciiChart(unsigned width = 64, unsigned height = 20);
+
+    /** Adds one curve. */
+    void addSeries(const Series &series);
+
+    /** Optional axis titles. */
+    void setAxisTitles(std::string x_title, std::string y_title);
+
+    /** Forces the y range (default: fit to data, starting at 0). */
+    void setYRange(double lo, double hi);
+
+    /** Renders the chart and legend. */
+    void print(std::ostream &os) const;
+
+  private:
+    unsigned width_;
+    unsigned height_;
+    std::vector<Series> series_;
+    std::string xTitle_;
+    std::string yTitle_;
+    bool hasYRange_ = false;
+    double yLo_ = 0.0;
+    double yHi_ = 0.0;
+};
+
+} // namespace swcc
+
+#endif // SWCC_CORE_REPORT_HH

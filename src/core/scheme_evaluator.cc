@@ -1,0 +1,66 @@
+#include "core/scheme_evaluator.hh"
+
+#include <stdexcept>
+
+#include "core/per_instruction.hh"
+
+namespace swcc
+{
+
+BusSolution
+evaluateBus(Scheme scheme, const WorkloadParams &params,
+            unsigned processors)
+{
+    const BusCostModel costs;
+    return evaluateBus(scheme, params, processors, costs);
+}
+
+BusSolution
+evaluateBus(Scheme scheme, const WorkloadParams &params,
+            unsigned processors, const BusCostModel &costs)
+{
+    const FrequencyVector freqs = operationFrequencies(scheme, params);
+    const PerInstructionCost cost = perInstructionCost(freqs, costs);
+    return solveBus(cost, processors);
+}
+
+NetworkSolution
+evaluateNetwork(Scheme scheme, const WorkloadParams &params,
+                unsigned stages)
+{
+    if (!schemeWorksOnNetwork(scheme)) {
+        throw std::invalid_argument(
+            "snoopy schemes need a broadcast bus; they cannot run on a "
+            "multistage network");
+    }
+    const NetworkCostModel costs(stages);
+    const FrequencyVector freqs = operationFrequencies(scheme, params);
+    const PerInstructionCost cost = perInstructionCost(freqs, costs);
+    return solveNetwork(cost, stages);
+}
+
+std::vector<BusSolution>
+busPowerCurve(Scheme scheme, const WorkloadParams &params,
+              unsigned max_processors)
+{
+    std::vector<BusSolution> curve;
+    curve.reserve(max_processors);
+    for (unsigned n = 1; n <= max_processors; ++n) {
+        curve.push_back(evaluateBus(scheme, params, n));
+    }
+    return curve;
+}
+
+std::vector<NetworkSolution>
+networkPowerCurve(Scheme scheme, const WorkloadParams &params,
+                  unsigned max_stages)
+{
+    std::vector<NetworkSolution> curve;
+    curve.reserve(max_stages);
+    for (unsigned s = 1; s <= max_stages; ++s) {
+        curve.push_back(evaluateNetwork(scheme, params, s));
+    }
+    return curve;
+}
+
+} // namespace swcc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * High-level evaluation API: scheme + workload + machine -> performance.
+ *
+ * This is the library's main entry point; it wires together the system
+ * model (cost tables), workload model (operation frequencies), and the
+ * appropriate contention model.
+ */
+
+#ifndef SWCC_CORE_SCHEME_EVALUATOR_HH
+#define SWCC_CORE_SCHEME_EVALUATOR_HH
+
+#include <vector>
+
+#include "core/bus_model.hh"
+#include "core/cost_model.hh"
+#include "core/network_model.hh"
+#include "core/types.hh"
+#include "core/workload.hh"
+
+namespace swcc
+{
+
+/**
+ * Evaluates a scheme's performance on a bus-based multiprocessor.
+ *
+ * @param scheme The coherence scheme.
+ * @param params The workload.
+ * @param processors Number of processors on the bus.
+ * @param costs Bus system model (defaults to paper Table 1).
+ */
+BusSolution evaluateBus(Scheme scheme, const WorkloadParams &params,
+                        unsigned processors);
+
+/** @copydoc evaluateBus */
+BusSolution evaluateBus(Scheme scheme, const WorkloadParams &params,
+                        unsigned processors, const BusCostModel &costs);
+
+/**
+ * Evaluates a scheme's performance on a circuit-switched multistage
+ * network with 2^stages processors.
+ *
+ * Only Base, No-Cache, and Software-Flush are meaningful here; Dragon
+ * requires a snooping bus and is rejected.
+ *
+ * @throws std::invalid_argument for Scheme::Dragon.
+ */
+NetworkSolution evaluateNetwork(Scheme scheme,
+                                const WorkloadParams &params,
+                                unsigned stages);
+
+/**
+ * Processing power of a scheme over a range of processor counts on a
+ * bus (one BusSolution per count in [1, max_processors]).
+ */
+std::vector<BusSolution>
+busPowerCurve(Scheme scheme, const WorkloadParams &params,
+              unsigned max_processors);
+
+/**
+ * Processing power of a scheme on networks of 2, 4, ..., 2^max_stages
+ * processors (one NetworkSolution per stage count).
+ */
+std::vector<NetworkSolution>
+networkPowerCurve(Scheme scheme, const WorkloadParams &params,
+                  unsigned max_stages);
+
+} // namespace swcc
+
+#endif // SWCC_CORE_SCHEME_EVALUATOR_HH

@@ -1,0 +1,131 @@
+#include "core/sweep.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/scheme_evaluator.hh"
+
+namespace swcc
+{
+
+double
+Series::maxY() const
+{
+    double best = 0.0;
+    for (const SeriesPoint &p : points) {
+        best = std::max(best, p.y);
+    }
+    return best;
+}
+
+double
+Series::finalY() const
+{
+    return points.empty() ? 0.0 : points.back().y;
+}
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t count)
+{
+    if (count == 0) {
+        return {};
+    }
+    if (count == 1) {
+        return {lo};
+    }
+    std::vector<double> values;
+    values.reserve(count);
+    const double step = (hi - lo) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+        values.push_back(lo + step * static_cast<double>(i));
+    }
+    values.back() = hi;
+    return values;
+}
+
+std::vector<double>
+logspace(double lo, double hi, std::size_t count)
+{
+    if (lo <= 0.0 || hi <= 0.0) {
+        throw std::invalid_argument("logspace needs positive bounds");
+    }
+    std::vector<double> values = linspace(std::log(lo), std::log(hi), count);
+    for (double &v : values) {
+        v = std::exp(v);
+    }
+    return values;
+}
+
+Series
+busPowerSeries(Scheme scheme, const WorkloadParams &params,
+               unsigned max_processors)
+{
+    Series series;
+    series.label = std::string(schemeName(scheme));
+    for (const BusSolution &sol :
+         busPowerCurve(scheme, params, max_processors)) {
+        series.points.push_back(
+            {static_cast<double>(sol.processors), sol.processingPower});
+    }
+    return series;
+}
+
+Series
+idealPowerSeries(unsigned max_processors)
+{
+    Series series;
+    series.label = "Ideal";
+    for (unsigned n = 1; n <= max_processors; ++n) {
+        series.points.push_back(
+            {static_cast<double>(n), static_cast<double>(n)});
+    }
+    return series;
+}
+
+Series
+aplPowerSeries(Scheme scheme, WorkloadParams params,
+               const std::vector<double> &apl_values, unsigned processors)
+{
+    Series series;
+    series.label = std::string(schemeName(scheme));
+    for (double apl : apl_values) {
+        params.apl = apl;
+        const BusSolution sol = evaluateBus(scheme, params, processors);
+        series.points.push_back({apl, sol.processingPower});
+    }
+    return series;
+}
+
+Series
+networkPowerSeries(Scheme scheme, const WorkloadParams &params,
+                   unsigned max_stages)
+{
+    Series series;
+    series.label = std::string(schemeName(scheme)) + " (network)";
+    for (const NetworkSolution &sol :
+         networkPowerCurve(scheme, params, max_stages)) {
+        series.points.push_back(
+            {static_cast<double>(sol.processors), sol.processingPower});
+    }
+    return series;
+}
+
+Series
+networkUtilizationSeries(unsigned stages, double message_words,
+                         const std::vector<double> &rates)
+{
+    Series series;
+    series.label =
+        "msg=" + std::to_string(static_cast<int>(message_words)) + "w";
+    const double size = message_words + 2.0 * static_cast<double>(stages);
+    for (double rate : rates) {
+        if (rate <= 0.0) {
+            continue;
+        }
+        series.points.push_back(
+            {rate, solveComputeFraction(rate, size, stages)});
+    }
+    return series;
+}
+
+} // namespace swcc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parameter sweep utilities producing the data series behind the
+ * paper's figures.
+ */
+
+#ifndef SWCC_CORE_SWEEP_HH
+#define SWCC_CORE_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "core/workload.hh"
+
+namespace swcc
+{
+
+/** One (x, y) sample of a figure series. */
+struct SeriesPoint
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** A labelled data series (one curve of a figure). */
+struct Series
+{
+    std::string label;
+    std::vector<SeriesPoint> points;
+
+    /** Largest y value in the series (0 if empty). */
+    double maxY() const;
+    /** y at the largest x (0 if empty). */
+    double finalY() const;
+};
+
+/** @p count evenly spaced values from @p lo to @p hi inclusive. */
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/** @p count log-spaced values from @p lo to @p hi inclusive (lo > 0). */
+std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+/**
+ * Bus processing power vs number of processors (Figures 4-6 curves).
+ */
+Series busPowerSeries(Scheme scheme, const WorkloadParams &params,
+                      unsigned max_processors);
+
+/**
+ * The dotted "theoretical upper bound" line of the paper's figures:
+ * processing power n for n processors.
+ */
+Series idealPowerSeries(unsigned max_processors);
+
+/**
+ * Bus processing power vs apl at a fixed machine size (Figures 8-9).
+ *
+ * @param apl_values Values of apl to sweep (each >= 1).
+ */
+Series aplPowerSeries(Scheme scheme, WorkloadParams params,
+                      const std::vector<double> &apl_values,
+                      unsigned processors);
+
+/**
+ * Network processing power vs processors 2^1..2^max_stages (Figure 10).
+ */
+Series networkPowerSeries(Scheme scheme, const WorkloadParams &params,
+                          unsigned max_stages);
+
+/**
+ * Network compute-fraction U vs transaction rate for a fixed message
+ * size (one curve of Figure 11).
+ *
+ * @param message_words Message size in words; network time per message
+ *        is message_words + 2 * stages.
+ * @param rates Transactions per CPU-busy cycle to sweep.
+ */
+Series networkUtilizationSeries(unsigned stages, double message_words,
+                                const std::vector<double> &rates);
+
+} // namespace swcc
+
+#endif // SWCC_CORE_SWEEP_HH

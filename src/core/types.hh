@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Common types for the Owicki-Agarwal software cache coherence model.
+ *
+ * The library models the four cache-coherence schemes compared in
+ * "Evaluating the Performance of Software Cache Coherence" (Owicki &
+ * Agarwal, ASPLOS 1989): a coherence-free upper bound (Base), two
+ * software schemes (No-Cache and Software-Flush), and the Dragon snoopy
+ * hardware protocol.
+ */
+
+#ifndef SWCC_CORE_TYPES_HH
+#define SWCC_CORE_TYPES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace swcc
+{
+
+/**
+ * Cache-coherence scheme evaluated by the model.
+ *
+ * The enumerators match the four workload models of the paper's
+ * Section 2.2 (Tables 3-6).
+ */
+enum class Scheme : std::uint8_t
+{
+    /** No coherence actions at all; performance upper bound (Table 3). */
+    Base,
+    /** Shared data is uncacheable; read/write-through to memory (Table 4). */
+    NoCache,
+    /** Shared data cached but explicitly flushed by software (Table 5). */
+    SoftwareFlush,
+    /** Dragon write-broadcast snoopy hardware protocol (Table 6). */
+    Dragon,
+};
+
+/** Number of schemes in @ref Scheme. */
+inline constexpr std::size_t kNumSchemes = 4;
+
+/** All schemes, in paper order, for iteration. */
+inline constexpr std::array<Scheme, kNumSchemes> kAllSchemes = {
+    Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush, Scheme::Dragon,
+};
+
+/**
+ * Human-readable name of a scheme.
+ *
+ * @param scheme The scheme to name.
+ * @return A static, null-terminated name such as "Software-Flush".
+ */
+constexpr std::string_view
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Base:          return "Base";
+      case Scheme::NoCache:       return "No-Cache";
+      case Scheme::SoftwareFlush: return "Software-Flush";
+      case Scheme::Dragon:        return "Dragon";
+    }
+    return "unknown";
+}
+
+/**
+ * True if the scheme can run on a multistage interconnection network.
+ *
+ * Snoopy protocols require a broadcast medium (a bus); the software
+ * schemes and Base work with any processor-memory interconnect, which is
+ * the central scalability argument of the paper's Section 6.
+ */
+constexpr bool
+schemeWorksOnNetwork(Scheme scheme)
+{
+    return scheme != Scheme::Dragon;
+}
+
+/** Cycle counts are modelled as real numbers (expected values). */
+using Cycles = double;
+
+} // namespace swcc
+
+#endif // SWCC_CORE_TYPES_HH

@@ -1,0 +1,202 @@
+#include "core/workload.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace swcc
+{
+
+namespace
+{
+
+void
+checkProbability(double value, std::string_view name)
+{
+    if (!(value >= 0.0 && value <= 1.0)) {
+        throw std::invalid_argument(
+            std::string(name) + " must lie in [0, 1], got " +
+            std::to_string(value));
+    }
+}
+
+} // namespace
+
+void
+WorkloadParams::validate() const
+{
+    checkProbability(ls, "ls");
+    checkProbability(msdat, "msdat");
+    checkProbability(mains, "mains");
+    checkProbability(md, "md");
+    checkProbability(shd, "shd");
+    checkProbability(wr, "wr");
+    checkProbability(mdshd, "mdshd");
+    checkProbability(oclean, "oclean");
+    checkProbability(opres, "opres");
+    if (!(apl >= 1.0)) {
+        throw std::invalid_argument(
+            "apl must be >= 1 (a shared block is referenced at least "
+            "once before being flushed), got " + std::to_string(apl));
+    }
+    if (!(nshd >= 0.0)) {
+        throw std::invalid_argument(
+            "nshd must be non-negative, got " + std::to_string(nshd));
+    }
+}
+
+std::string_view
+paramName(ParamId id)
+{
+    switch (id) {
+      case ParamId::Ls:     return "ls";
+      case ParamId::Msdat:  return "msdat";
+      case ParamId::Mains:  return "mains";
+      case ParamId::Md:     return "md";
+      case ParamId::Shd:    return "shd";
+      case ParamId::Wr:     return "wr";
+      case ParamId::InvApl: return "1/apl";
+      case ParamId::Mdshd:  return "mdshd";
+      case ParamId::Oclean: return "oclean";
+      case ParamId::Opres:  return "opres";
+      case ParamId::Nshd:   return "nshd";
+    }
+    return "unknown";
+}
+
+std::string_view
+paramDescription(ParamId id)
+{
+    switch (id) {
+      case ParamId::Ls:
+        return "probability an instruction is a load or store";
+      case ParamId::Msdat:
+        return "miss rate for data";
+      case ParamId::Mains:
+        return "miss rate for instructions";
+      case ParamId::Md:
+        return "probability a miss replaces a dirty block";
+      case ParamId::Shd:
+        return "probability a load or store refers to shared data";
+      case ParamId::Wr:
+        return "probability a shared reference is a store";
+      case ParamId::InvApl:
+        return "inverse of references to a shared block before flush";
+      case ParamId::Mdshd:
+        return "probability a shared block is modified before flush";
+      case ParamId::Oclean:
+        return "on shared miss, probability block not dirty elsewhere";
+      case ParamId::Opres:
+        return "on shared reference, probability block present elsewhere";
+      case ParamId::Nshd:
+        return "on write-broadcast, number of other caches with block";
+    }
+    return "unknown";
+}
+
+double
+getParam(const WorkloadParams &params, ParamId id)
+{
+    switch (id) {
+      case ParamId::Ls:     return params.ls;
+      case ParamId::Msdat:  return params.msdat;
+      case ParamId::Mains:  return params.mains;
+      case ParamId::Md:     return params.md;
+      case ParamId::Shd:    return params.shd;
+      case ParamId::Wr:     return params.wr;
+      case ParamId::InvApl: return 1.0 / params.apl;
+      case ParamId::Mdshd:  return params.mdshd;
+      case ParamId::Oclean: return params.oclean;
+      case ParamId::Opres:  return params.opres;
+      case ParamId::Nshd:   return params.nshd;
+    }
+    throw std::invalid_argument("unknown ParamId");
+}
+
+void
+setParam(WorkloadParams &params, ParamId id, double value)
+{
+    switch (id) {
+      case ParamId::Ls:     params.ls = value; return;
+      case ParamId::Msdat:  params.msdat = value; return;
+      case ParamId::Mains:  params.mains = value; return;
+      case ParamId::Md:     params.md = value; return;
+      case ParamId::Shd:    params.shd = value; return;
+      case ParamId::Wr:     params.wr = value; return;
+      case ParamId::InvApl:
+        if (value <= 0.0) {
+            throw std::invalid_argument("1/apl must be positive");
+        }
+        params.apl = 1.0 / value;
+        return;
+      case ParamId::Mdshd:  params.mdshd = value; return;
+      case ParamId::Oclean: params.oclean = value; return;
+      case ParamId::Opres:  params.opres = value; return;
+      case ParamId::Nshd:   params.nshd = value; return;
+    }
+    throw std::invalid_argument("unknown ParamId");
+}
+
+std::string_view
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Low:    return "low";
+      case Level::Middle: return "middle";
+      case Level::High:   return "high";
+    }
+    return "unknown";
+}
+
+double
+paramLevelValue(ParamId id, Level level)
+{
+    // Paper Table 7: {low, middle, high} per parameter.
+    struct Range { double low, middle, high; };
+    Range range{};
+    switch (id) {
+      case ParamId::Ls:     range = {0.2, 0.3, 0.4}; break;
+      case ParamId::Msdat:  range = {0.004, 0.014, 0.024}; break;
+      case ParamId::Mains:  range = {0.0014, 0.0022, 0.0034}; break;
+      case ParamId::Md:     range = {0.14, 0.20, 0.50}; break;
+      case ParamId::Shd:    range = {0.08, 0.25, 0.42}; break;
+      case ParamId::Wr:     range = {0.10, 0.25, 0.40}; break;
+      case ParamId::InvApl: range = {0.04, 0.13, 1.0}; break;
+      case ParamId::Mdshd:  range = {0.0, 0.25, 0.5}; break;
+      case ParamId::Oclean: range = {0.60, 0.84, 0.976}; break;
+      case ParamId::Opres:  range = {0.63, 0.79, 0.94}; break;
+      case ParamId::Nshd:   range = {1.0, 1.0, 7.0}; break;
+    }
+    switch (level) {
+      case Level::Low:    return range.low;
+      case Level::Middle: return range.middle;
+      case Level::High:   return range.high;
+    }
+    throw std::invalid_argument("unknown Level");
+}
+
+WorkloadParams
+paramsAtLevel(Level level)
+{
+    WorkloadParams params;
+    for (ParamId id : kAllParams) {
+        setParam(params, id, paramLevelValue(id, level));
+    }
+    return params;
+}
+
+WorkloadParams
+middleParams()
+{
+    return paramsAtLevel(Level::Middle);
+}
+
+WorkloadParams
+sharingScenario(Level level)
+{
+    WorkloadParams params = middleParams();
+    setParam(params, ParamId::Ls, paramLevelValue(ParamId::Ls, level));
+    setParam(params, ParamId::Shd, paramLevelValue(ParamId::Shd, level));
+    return params;
+}
+
+} // namespace swcc

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Workload model parameters (paper Table 2) and their studied ranges
+ * (paper Table 7).
+ */
+
+#ifndef SWCC_CORE_WORKLOAD_HH
+#define SWCC_CORE_WORKLOAD_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace swcc
+{
+
+/**
+ * The eleven workload parameters of the paper's Table 2.
+ *
+ * "Shared data" means data *treated* as shared by the coherence
+ * algorithm (compiler/programmer marking) in the software schemes, and
+ * data *actually* referenced by more than one processor in Dragon; the
+ * paper argues these interpretations should not diverge widely.
+ */
+struct WorkloadParams
+{
+    /** Probability an instruction is a load or store (ls). */
+    double ls = 0.3;
+    /** Data miss rate (msdat). */
+    double msdat = 0.014;
+    /** Instruction miss rate (mains). */
+    double mains = 0.0022;
+    /** Probability a miss replaces a dirty block (md). */
+    double md = 0.20;
+    /** Probability a load/store refers to shared data (shd). */
+    double shd = 0.25;
+    /** Probability a shared reference is a store rather than a load (wr). */
+    double wr = 0.25;
+    /** References to a shared block before it is flushed (apl >= 1). */
+    double apl = 1.0 / 0.13;
+    /** Probability a shared block is modified before it is flushed. */
+    double mdshd = 0.25;
+    /**
+     * On a miss to a shared block, probability it is *not* dirty in
+     * another cache (oclean).
+     */
+    double oclean = 0.84;
+    /**
+     * On a (write) reference to a shared block, probability it is
+     * present in another cache (opres).
+     */
+    double opres = 0.79;
+    /** On a write broadcast, number of other caches holding the block. */
+    double nshd = 1.0;
+
+    /**
+     * Checks every parameter against its domain.
+     *
+     * Probabilities must lie in [0, 1], @c apl must be >= 1 (a block is
+     * referenced at least once before being flushed), and @c nshd must
+     * be non-negative.
+     *
+     * @throws std::invalid_argument naming the offending parameter.
+     */
+    void validate() const;
+
+    bool operator==(const WorkloadParams &) const = default;
+};
+
+/**
+ * Identifier for one workload parameter, used by the sensitivity
+ * analysis and the sweep utilities.
+ *
+ * @c InvApl varies 1/apl, matching the paper's Table 7, which tabulates
+ * the flush *rate* rather than the run length.
+ */
+enum class ParamId : std::uint8_t
+{
+    Ls, Msdat, Mains, Md, Shd, Wr, InvApl, Mdshd, Oclean, Opres, Nshd,
+};
+
+/** Number of workload parameters. */
+inline constexpr std::size_t kNumParams = 11;
+
+/** All parameter ids, in Table 2 order. */
+inline constexpr std::array<ParamId, kNumParams> kAllParams = {
+    ParamId::Ls, ParamId::Msdat, ParamId::Mains, ParamId::Md,
+    ParamId::Shd, ParamId::Wr, ParamId::InvApl, ParamId::Mdshd,
+    ParamId::Oclean, ParamId::Opres, ParamId::Nshd,
+};
+
+/** Short name of a parameter (paper notation, e.g. "shd", "1/apl"). */
+std::string_view paramName(ParamId id);
+
+/** One-line description of a parameter (paper Table 2 wording). */
+std::string_view paramDescription(ParamId id);
+
+/**
+ * Reads a parameter from a parameter set.
+ *
+ * @c InvApl reads 1/apl.
+ */
+double getParam(const WorkloadParams &params, ParamId id);
+
+/**
+ * Writes a parameter into a parameter set.
+ *
+ * @c InvApl sets apl = 1/value.
+ */
+void setParam(WorkloadParams &params, ParamId id, double value);
+
+/** Position within a parameter's studied range. */
+enum class Level : std::uint8_t { Low, Middle, High };
+
+/** All levels, for iteration. */
+inline constexpr std::array<Level, 3> kAllLevels = {
+    Level::Low, Level::Middle, Level::High,
+};
+
+/** Name of a level ("low"/"middle"/"high"). */
+std::string_view levelName(Level level);
+
+/**
+ * Low/middle/high studied values for one parameter (paper Table 7).
+ *
+ * The ranges derive from the paper's trace measurements with three
+ * documented adjustments: 1/apl's high value is 1.0 (the maximum
+ * possible), md's high value is 0.5 (following Smith's measurements;
+ * the traces were too short to fill large caches), and ls reflects RISC
+ * rather than the traced CISC machine.
+ */
+double paramLevelValue(ParamId id, Level level);
+
+/**
+ * A full parameter set with every parameter at the given level.
+ */
+WorkloadParams paramsAtLevel(Level level);
+
+/**
+ * The paper's default operating point: every parameter at its middle
+ * value (used for Figures 5, 7 and the sensitivity analysis baseline).
+ */
+WorkloadParams middleParams();
+
+/**
+ * Parameter set for the low/medium/high *sharing* scenarios of
+ * Figures 4-6: @c ls and @c shd at the given level, everything else at
+ * middle values.
+ */
+WorkloadParams sharingScenario(Level level);
+
+} // namespace swcc
+
+#endif // SWCC_CORE_WORKLOAD_HH

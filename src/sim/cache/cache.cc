@@ -1,0 +1,89 @@
+#include "sim/cache/cache.hh"
+
+#include <algorithm>
+
+namespace swcc
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    lines_.resize(config_.numLines());
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>(
+        (addr / config_.blockBytes) % config_.numSets());
+}
+
+CacheLine *
+Cache::find(Addr addr)
+{
+    const Addr block = blockAddr(addr);
+    const std::size_t set = setIndex(addr);
+    const std::size_t base = set * config_.associativity;
+    for (std::size_t way = 0; way < config_.associativity; ++way) {
+        CacheLine &line = lines_[base + way];
+        if (isValidState(line.state) && line.blockAddr == block) {
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+void
+Cache::touch(CacheLine &line)
+{
+    line.lastUse = ++useCounter_;
+}
+
+CacheLine &
+Cache::victimFor(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const std::size_t base = set * config_.associativity;
+    CacheLine *victim = &lines_[base];
+    for (std::size_t way = 0; way < config_.associativity; ++way) {
+        CacheLine &line = lines_[base + way];
+        if (!isValidState(line.state)) {
+            return line;
+        }
+        if (line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    return *victim;
+}
+
+void
+Cache::fill(CacheLine &victim, Addr addr, LineState state)
+{
+    victim.blockAddr = blockAddr(addr);
+    victim.state = state;
+    touch(victim);
+}
+
+void
+Cache::invalidate(CacheLine &line)
+{
+    line.state = LineState::Invalid;
+}
+
+std::size_t
+Cache::validLines() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        lines_.begin(), lines_.end(),
+        [](const CacheLine &line) { return isValidState(line.state); }));
+}
+
+} // namespace swcc

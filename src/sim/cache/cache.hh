@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and per-line coherence
+ * state.
+ */
+
+#ifndef SWCC_SIM_CACHE_CACHE_HH
+#define SWCC_SIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache/cache_config.hh"
+#include "sim/trace/trace_event.hh"
+
+namespace swcc
+{
+
+/**
+ * Coherence state of a cache line.
+ *
+ * Base, No-Cache, and Software-Flush use only Invalid / Exclusive /
+ * Dirty. Dragon adds the shared states: SharedClean copies may exist in
+ * several caches; a SharedDirty line is the *owner* of a block whose
+ * memory copy is stale (exactly one owner can exist per block).
+ */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    /** Valid, clean, only copy (Dragon "Valid-Exclusive"). */
+    Exclusive,
+    /** Valid, modified, only copy. */
+    Dirty,
+    /** Valid, clean, possibly also in other caches. */
+    SharedClean,
+    /** Valid, modified, possibly shared: this cache owns the block. */
+    SharedDirty,
+};
+
+/** True for states whose eviction requires a write-back. */
+constexpr bool
+isDirtyState(LineState state)
+{
+    return state == LineState::Dirty || state == LineState::SharedDirty;
+}
+
+/** True for any valid state. */
+constexpr bool
+isValidState(LineState state)
+{
+    return state != LineState::Invalid;
+}
+
+/** One cache line: the block address it holds plus coherence state. */
+struct CacheLine
+{
+    /** Block-aligned address of the held block (valid lines only). */
+    Addr blockAddr = 0;
+    LineState state = LineState::Invalid;
+    /** LRU timestamp (larger = more recent). */
+    std::uint64_t lastUse = 0;
+};
+
+/**
+ * A single processor's cache.
+ *
+ * Purely structural: protocols decide state transitions; the cache
+ * provides lookup, LRU victim selection, and iteration for invariant
+ * checking.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config Validated geometry.
+     * @throws std::invalid_argument via config.validate().
+     */
+    explicit Cache(const CacheConfig &config);
+
+    /** Block-aligned address of @p addr. */
+    Addr
+    blockAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(config_.blockBytes - 1);
+    }
+
+    /**
+     * Finds the valid line holding @p addr's block, or nullptr.
+     * Does not update LRU state; call touch() on a hit.
+     */
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    /** Marks a line most recently used. */
+    void touch(CacheLine &line);
+
+    /**
+     * Selects the replacement victim for @p addr's set: an invalid
+     * line if present, otherwise the least recently used.
+     */
+    CacheLine &victimFor(Addr addr);
+
+    /**
+     * Installs @p addr's block into @p victim with @p state and marks
+     * it most recently used. The caller is responsible for having
+     * handled the victim's write-back.
+     */
+    void fill(CacheLine &victim, Addr addr, LineState state);
+
+    /** Invalidates a line. */
+    void invalidate(CacheLine &line);
+
+    /** All lines, for snooping and invariant checks. */
+    const std::vector<CacheLine> &lines() const { return lines_; }
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Number of currently valid lines. */
+    std::size_t validLines() const;
+
+  private:
+    std::size_t setIndex(Addr addr) const;
+
+    CacheConfig config_;
+    std::vector<CacheLine> lines_;
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace swcc
+
+#endif // SWCC_SIM_CACHE_CACHE_HH

@@ -1,0 +1,115 @@
+#include "sim/cache/coherence.hh"
+
+#include <string>
+#include <unordered_map>
+
+namespace swcc
+{
+
+namespace
+{
+
+bool
+isMissOp(Operation op)
+{
+    return op == Operation::CleanMissMem || op == Operation::DirtyMissMem ||
+        op == Operation::CleanMissCache || op == Operation::DirtyMissCache;
+}
+
+bool
+isDirtyMissOp(Operation op)
+{
+    return op == Operation::DirtyMissMem || op == Operation::DirtyMissCache;
+}
+
+} // namespace
+
+bool
+AccessResult::hasMiss() const
+{
+    for (std::uint8_t i = 0; i < numOps; ++i) {
+        if (isMissOp(ops[i])) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+AccessResult::hasDirtyMiss() const
+{
+    for (std::uint8_t i = 0; i < numOps; ++i) {
+        if (isDirtyMissOp(ops[i])) {
+            return true;
+        }
+    }
+    return false;
+}
+
+CoherenceProtocol::CoherenceProtocol(const CacheConfig &cache_config,
+                                     CpuId num_cpus)
+{
+    if (num_cpus == 0) {
+        throw std::invalid_argument("need at least one processor");
+    }
+    caches_.reserve(num_cpus);
+    for (CpuId i = 0; i < num_cpus; ++i) {
+        caches_.emplace_back(cache_config);
+    }
+}
+
+bool
+CoherenceProtocol::evict(CpuId cpu, CacheLine &victim)
+{
+    if (!isValidState(victim.state)) {
+        return false;
+    }
+    const bool dirty = isDirtyState(victim.state);
+    caches_[cpu].invalidate(victim);
+    return dirty;
+}
+
+void
+checkCoherenceInvariants(const CoherenceProtocol &protocol)
+{
+    struct BlockView
+    {
+        unsigned holders = 0;
+        unsigned owners = 0;
+        unsigned exclusives = 0;
+    };
+    std::unordered_map<Addr, BlockView> blocks;
+
+    for (CpuId cpu = 0; cpu < protocol.numCpus(); ++cpu) {
+        for (const CacheLine &line : protocol.cache(cpu).lines()) {
+            if (!isValidState(line.state)) {
+                continue;
+            }
+            BlockView &view = blocks[line.blockAddr];
+            ++view.holders;
+            if (isDirtyState(line.state)) {
+                ++view.owners;
+            }
+            if (line.state == LineState::Exclusive ||
+                line.state == LineState::Dirty) {
+                ++view.exclusives;
+            }
+        }
+    }
+
+    for (const auto &[addr, view] : blocks) {
+        if (view.exclusives > 0 && view.holders > 1) {
+            throw std::logic_error(
+                "block " + std::to_string(addr) +
+                " is exclusive in one cache but held by " +
+                std::to_string(view.holders));
+        }
+        if (view.owners > 1) {
+            throw std::logic_error(
+                "block " + std::to_string(addr) + " has " +
+                std::to_string(view.owners) + " dirty owners");
+        }
+    }
+}
+
+} // namespace swcc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Coherence protocol interface for the multiprocessor simulator.
+ */
+
+#ifndef SWCC_SIM_CACHE_COHERENCE_HH
+#define SWCC_SIM_CACHE_COHERENCE_HH
+
+#include <array>
+#include <string_view>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/operation.hh"
+#include "core/types.hh"
+#include "sim/cache/cache.hh"
+#include "sim/trace/trace_event.hh"
+
+namespace swcc
+{
+
+/**
+ * What one trace reference did, expressed as system-model operations.
+ *
+ * The timing layer prices each operation with the bus cost table; the
+ * protocol layer only decides *which* operations happened. A single
+ * reference produces at most three operations (e.g. a Dragon write
+ * miss: a cache-supplied fetch followed by a write broadcast).
+ * Instruction execution itself (the always-present 1-cycle operation)
+ * is accounted by the timing layer, not reported here.
+ */
+struct AccessResult
+{
+    static constexpr std::size_t kMaxOps = 3;
+
+    std::array<Operation, kMaxOps> ops{};
+    std::uint8_t numOps = 0;
+
+    /** Processors that lose a cycle snooping this access (Dragon). */
+    std::vector<CpuId> steals;
+
+    /** Clears the result for reuse. */
+    void
+    reset()
+    {
+        numOps = 0;
+        steals.clear();
+    }
+
+    /** Appends an operation. */
+    void
+    addOp(Operation op)
+    {
+        if (numOps >= kMaxOps) {
+            throw std::logic_error("too many operations for one access");
+        }
+        ops[numOps++] = op;
+    }
+
+    /** True if any recorded operation was a miss. */
+    bool hasMiss() const;
+
+    /** True if any recorded miss replaced a dirty block. */
+    bool hasDirtyMiss() const;
+};
+
+/**
+ * A cache-coherence protocol driving all per-processor caches.
+ *
+ * The protocol owns the caches so that it can snoop across them, which
+ * models the atomic bus of the paper's simulator: one reference
+ * completes (including all state transitions in every cache) before the
+ * next begins.
+ */
+class CoherenceProtocol
+{
+  public:
+    /**
+     * @param cache_config Geometry of every per-processor cache.
+     * @param num_cpus Number of processors.
+     */
+    CoherenceProtocol(const CacheConfig &cache_config, CpuId num_cpus);
+
+    virtual ~CoherenceProtocol() = default;
+
+    CoherenceProtocol(const CoherenceProtocol &) = delete;
+    CoherenceProtocol &operator=(const CoherenceProtocol &) = delete;
+
+    /**
+     * Applies one trace reference: updates cache state everywhere and
+     * reports the system-model operations it triggered.
+     *
+     * @param cpu Issuing processor.
+     * @param type Reference kind.
+     * @param addr Referenced byte address.
+     * @param out Result, reset() by this call.
+     */
+    virtual void access(CpuId cpu, RefType type, Addr addr,
+                        AccessResult &out) = 0;
+
+    /**
+     * Human-readable protocol name ("Dragon", "Write-Invalidate",
+     * ...). Extension protocols are not restricted to the paper's
+     * four schemes.
+     */
+    virtual std::string_view name() const = 0;
+
+    /** Number of processors. */
+    CpuId numCpus() const { return static_cast<CpuId>(caches_.size()); }
+
+    /** A processor's cache, for tests and invariant checks. */
+    const Cache &cache(CpuId cpu) const { return caches_[cpu]; }
+
+  protected:
+    /**
+     * Evicts @p victim if valid and reports whether a write-back was
+     * needed (i.e. the victim was dirty).
+     */
+    bool evict(CpuId cpu, CacheLine &victim);
+
+    std::vector<Cache> caches_;
+};
+
+/**
+ * Checks the cross-cache single-owner/exclusivity invariants:
+ *
+ *  - a block Exclusive or Dirty in one cache appears in no other cache;
+ *  - at most one cache holds a block in an owner (dirty) state;
+ *  - SharedClean/SharedDirty states never coexist with Exclusive/Dirty
+ *    for the same block.
+ *
+ * @throws std::logic_error describing the first violation found.
+ */
+void checkCoherenceInvariants(const CoherenceProtocol &protocol);
+
+} // namespace swcc
+
+#endif // SWCC_SIM_CACHE_COHERENCE_HH

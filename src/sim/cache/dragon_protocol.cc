@@ -1,0 +1,197 @@
+#include "sim/cache/dragon_protocol.hh"
+
+namespace swcc
+{
+
+double
+DragonMeasurements::oclean(double fallback) const
+{
+    if (sharedMisses == 0) {
+        return fallback;
+    }
+    return static_cast<double>(sharedMissesClean) /
+        static_cast<double>(sharedMisses);
+}
+
+double
+DragonMeasurements::opres(double fallback) const
+{
+    if (sharedWrites == 0) {
+        return fallback;
+    }
+    return static_cast<double>(sharedWritesPresent) /
+        static_cast<double>(sharedWrites);
+}
+
+double
+DragonMeasurements::nshd(double fallback) const
+{
+    if (broadcasts == 0) {
+        return fallback;
+    }
+    return static_cast<double>(broadcastCopies) /
+        static_cast<double>(broadcasts);
+}
+
+DragonProtocol::DragonProtocol(const CacheConfig &cache_config,
+                               CpuId num_cpus,
+                               SharedClassifier measure_shared)
+    : CoherenceProtocol(cache_config, num_cpus),
+      measureShared_(std::move(measure_shared))
+{
+}
+
+unsigned
+DragonProtocol::countOtherHolders(CpuId cpu, Addr block) const
+{
+    unsigned holders = 0;
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other != cpu && caches_[other].find(block) != nullptr) {
+            ++holders;
+        }
+    }
+    return holders;
+}
+
+bool
+DragonProtocol::dirtyElsewhere(CpuId cpu, Addr block) const
+{
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other == cpu) {
+            continue;
+        }
+        const CacheLine *line = caches_[other].find(block);
+        if (line != nullptr && isDirtyState(line->state)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+CacheLine &
+DragonProtocol::handleMiss(CpuId cpu, Addr addr, AccessResult &out)
+{
+    Cache &cache = caches_[cpu];
+    const Addr block = cache.blockAddr(addr);
+
+    CacheLine &victim = cache.victimFor(addr);
+    const bool dirty_victim = evict(cpu, victim);
+
+    const bool supplied_by_cache = dirtyElsewhere(cpu, block);
+    unsigned holders = 0;
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other == cpu) {
+            continue;
+        }
+        Cache &other_cache = caches_[other];
+        // Safe: victim was invalidated above, so find() can't alias it.
+        CacheLine *line = other_cache.find(block);
+        if (line == nullptr) {
+            continue;
+        }
+        ++holders;
+        // Everyone sees the fill on the bus and knows the block is now
+        // shared. Dirty owners keep ownership (they supplied the data).
+        if (line->state == LineState::Exclusive) {
+            line->state = LineState::SharedClean;
+        } else if (line->state == LineState::Dirty) {
+            line->state = LineState::SharedDirty;
+        }
+    }
+
+    if (supplied_by_cache) {
+        out.addOp(dirty_victim ? Operation::DirtyMissCache
+                               : Operation::CleanMissCache);
+    } else {
+        out.addOp(dirty_victim ? Operation::DirtyMissMem
+                               : Operation::CleanMissMem);
+    }
+
+    cache.fill(victim, addr,
+               holders > 0 ? LineState::SharedClean
+                           : LineState::Exclusive);
+    return victim;
+}
+
+void
+DragonProtocol::broadcast(CpuId cpu, CacheLine &line, AccessResult &out)
+{
+    const Addr block = line.blockAddr;
+    out.addOp(Operation::WriteBroadcast);
+    ++measured_.broadcasts;
+
+    unsigned holders = 0;
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other == cpu) {
+            continue;
+        }
+        CacheLine *copy = caches_[other].find(block);
+        if (copy == nullptr) {
+            continue;
+        }
+        ++holders;
+        // The holder's controller updates the word in place, stealing a
+        // cycle from its processor; a previous owner loses ownership.
+        out.steals.push_back(other);
+        copy->state = LineState::SharedClean;
+    }
+    measured_.broadcastCopies += holders;
+
+    line.state = holders > 0 ? LineState::SharedDirty : LineState::Dirty;
+}
+
+void
+DragonProtocol::access(CpuId cpu, RefType type, Addr addr,
+                       AccessResult &out)
+{
+    out.reset();
+    if (type == RefType::Flush) {
+        // Hardware coherence: software flushes are unnecessary no-ops.
+        return;
+    }
+
+    Cache &cache = caches_[cpu];
+    const Addr block = cache.blockAddr(addr);
+    const bool measured = measureShared_ && isData(type) &&
+        measureShared_(block);
+
+    CacheLine *line = cache.find(addr);
+    if (line != nullptr) {
+        cache.touch(*line);
+    } else {
+        if (measured) {
+            ++measured_.sharedMisses;
+            if (!dirtyElsewhere(cpu, block)) {
+                ++measured_.sharedMissesClean;
+            }
+        }
+        line = &handleMiss(cpu, addr, out);
+    }
+
+    if (type != RefType::Store) {
+        return;
+    }
+
+    if (measured) {
+        ++measured_.sharedWrites;
+        if (countOtherHolders(cpu, block) > 0) {
+            ++measured_.sharedWritesPresent;
+        }
+    }
+
+    switch (line->state) {
+      case LineState::Exclusive:
+      case LineState::Dirty:
+        // Sole copy: write locally, no bus action.
+        line->state = LineState::Dirty;
+        return;
+      case LineState::SharedClean:
+      case LineState::SharedDirty:
+        broadcast(cpu, *line, out);
+        return;
+      case LineState::Invalid:
+        throw std::logic_error("store resolved to an invalid line");
+    }
+}
+
+} // namespace swcc

@@ -1,0 +1,160 @@
+#include "sim/cache/invalidate_protocol.hh"
+
+namespace swcc
+{
+
+double
+InvalidateMeasurements::copiesPerInvalidation(double fallback) const
+{
+    if (invalidations == 0) {
+        return fallback;
+    }
+    return static_cast<double>(copiesInvalidated) /
+        static_cast<double>(invalidations);
+}
+
+double
+InvalidateMeasurements::rerefFraction(double fallback) const
+{
+    if (copiesInvalidated == 0) {
+        return fallback;
+    }
+    return static_cast<double>(coherenceMisses) /
+        static_cast<double>(copiesInvalidated);
+}
+
+InvalidateProtocol::InvalidateProtocol(const CacheConfig &cache_config,
+                                       CpuId num_cpus)
+    : CoherenceProtocol(cache_config, num_cpus), lostBlocks_(num_cpus)
+{
+}
+
+unsigned
+InvalidateProtocol::invalidateRemotes(CpuId cpu, Addr block,
+                                      AccessResult &out)
+{
+    unsigned copies = 0;
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other == cpu) {
+            continue;
+        }
+        CacheLine *line = caches_[other].find(block);
+        if (line == nullptr) {
+            continue;
+        }
+        ++copies;
+        caches_[other].invalidate(*line);
+        lostBlocks_[other].insert(block);
+        // The victim's controller spends a snoop cycle killing the
+        // line, exactly like a Dragon update.
+        out.steals.push_back(other);
+    }
+    measured_.copiesInvalidated += copies;
+    return copies;
+}
+
+CacheLine &
+InvalidateProtocol::handleMiss(CpuId cpu, RefType type, Addr addr,
+                               AccessResult &out)
+{
+    Cache &cache = caches_[cpu];
+    const Addr block = cache.blockAddr(addr);
+
+    if (lostBlocks_[cpu].erase(block) > 0) {
+        ++measured_.coherenceMisses;
+    }
+
+    CacheLine &victim = cache.victimFor(addr);
+    const bool dirty_victim = evict(cpu, victim);
+
+    bool supplied_by_cache = false;
+    unsigned holders = 0;
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other == cpu) {
+            continue;
+        }
+        CacheLine *line = caches_[other].find(block);
+        if (line == nullptr) {
+            continue;
+        }
+        ++holders;
+        if (isDirtyState(line->state)) {
+            // Illinois: the owner supplies the block and memory is
+            // updated in the same transaction; the owner keeps a
+            // shared clean copy.
+            supplied_by_cache = true;
+            line->state = LineState::SharedClean;
+        } else if (line->state == LineState::Exclusive) {
+            line->state = LineState::SharedClean;
+        }
+    }
+
+    if (supplied_by_cache) {
+        out.addOp(dirty_victim ? Operation::DirtyMissCache
+                               : Operation::CleanMissCache);
+    } else {
+        out.addOp(dirty_victim ? Operation::DirtyMissMem
+                               : Operation::CleanMissMem);
+    }
+
+    cache.fill(victim, addr,
+               holders > 0 ? LineState::SharedClean
+                           : LineState::Exclusive);
+
+    if (type == RefType::Store) {
+        // Read-for-ownership: kill the other copies and write.
+        if (holders > 0) {
+            out.addOp(Operation::WriteBroadcast);
+            ++measured_.invalidations;
+            invalidateRemotes(cpu, block, out);
+        }
+        CacheLine *line = cache.find(addr);
+        line->state = LineState::Dirty;
+        return *line;
+    }
+    return victim;
+}
+
+void
+InvalidateProtocol::access(CpuId cpu, RefType type, Addr addr,
+                           AccessResult &out)
+{
+    out.reset();
+    if (type == RefType::Flush) {
+        // Hardware coherence: flushes are unnecessary no-ops.
+        return;
+    }
+
+    Cache &cache = caches_[cpu];
+
+    CacheLine *line = cache.find(addr);
+    if (line == nullptr) {
+        handleMiss(cpu, type, addr, out);
+        return;
+    }
+    cache.touch(*line);
+
+    if (type != RefType::Store) {
+        return;
+    }
+
+    switch (line->state) {
+      case LineState::Exclusive:
+      case LineState::Dirty:
+        line->state = LineState::Dirty;
+        return;
+      case LineState::SharedClean: {
+        out.addOp(Operation::WriteBroadcast);
+        ++measured_.invalidations;
+        invalidateRemotes(cpu, cache.blockAddr(addr), out);
+        line->state = LineState::Dirty;
+        return;
+      }
+      case LineState::SharedDirty:
+      case LineState::Invalid:
+        throw std::logic_error(
+            "write-invalidate reached an impossible line state");
+    }
+}
+
+} // namespace swcc

@@ -1,0 +1,52 @@
+#include "sim/cache/nocache_protocol.hh"
+
+namespace swcc
+{
+
+NoCacheProtocol::NoCacheProtocol(const CacheConfig &cache_config,
+                                 CpuId num_cpus, SharedClassifier shared)
+    : CoherenceProtocol(cache_config, num_cpus), shared_(std::move(shared))
+{
+    if (!shared_) {
+        throw std::invalid_argument(
+            "No-Cache needs a shared-region classifier");
+    }
+}
+
+void
+NoCacheProtocol::access(CpuId cpu, RefType type, Addr addr,
+                        AccessResult &out)
+{
+    out.reset();
+    if (type == RefType::Flush) {
+        // Nothing shared is ever cached; a flush has nothing to do.
+        return;
+    }
+
+    Cache &cache = caches_[cpu];
+    const Addr block = cache.blockAddr(addr);
+
+    if (isData(type) && shared_(block)) {
+        out.addOp(type == RefType::Store ? Operation::WriteThrough
+                                         : Operation::ReadThrough);
+        return;
+    }
+
+    if (CacheLine *line = cache.find(addr)) {
+        cache.touch(*line);
+        if (type == RefType::Store) {
+            line->state = LineState::Dirty;
+        }
+        return;
+    }
+
+    CacheLine &victim = cache.victimFor(addr);
+    const bool dirty_victim = evict(cpu, victim);
+    out.addOp(dirty_victim ? Operation::DirtyMissMem
+                           : Operation::CleanMissMem);
+    cache.fill(victim, addr,
+               type == RefType::Store ? LineState::Dirty
+                                      : LineState::Exclusive);
+}
+
+} // namespace swcc

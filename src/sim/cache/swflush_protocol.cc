@@ -1,0 +1,48 @@
+#include "sim/cache/swflush_protocol.hh"
+
+namespace swcc
+{
+
+void
+SwFlushProtocol::access(CpuId cpu, RefType type, Addr addr,
+                        AccessResult &out)
+{
+    out.reset();
+    Cache &cache = caches_[cpu];
+
+    if (type == RefType::Flush) {
+        ++measured_.flushes;
+        CacheLine *line = cache.find(addr);
+        if (line == nullptr) {
+            // Already replaced; the flush instruction still executes.
+            ++measured_.missedFlushes;
+            out.addOp(Operation::CleanFlush);
+            return;
+        }
+        const bool dirty = isDirtyState(line->state);
+        if (dirty) {
+            ++measured_.dirtyFlushes;
+        }
+        cache.invalidate(*line);
+        out.addOp(dirty ? Operation::DirtyFlush : Operation::CleanFlush);
+        return;
+    }
+
+    if (CacheLine *line = cache.find(addr)) {
+        cache.touch(*line);
+        if (type == RefType::Store) {
+            line->state = LineState::Dirty;
+        }
+        return;
+    }
+
+    CacheLine &victim = cache.victimFor(addr);
+    const bool dirty_victim = evict(cpu, victim);
+    out.addOp(dirty_victim ? Operation::DirtyMissMem
+                           : Operation::CleanMissMem);
+    cache.fill(victim, addr,
+               type == RefType::Store ? LineState::Dirty
+                                      : LineState::Exclusive);
+}
+
+} // namespace swcc

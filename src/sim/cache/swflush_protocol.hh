@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Software-Flush scheme: cached shared data with explicit flushes.
+ */
+
+#ifndef SWCC_SIM_CACHE_SWFLUSH_PROTOCOL_HH
+#define SWCC_SIM_CACHE_SWFLUSH_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "sim/cache/coherence.hh"
+
+namespace swcc
+{
+
+/** Flush-behaviour counters for analysis and tests. */
+struct FlushMeasurements
+{
+    std::uint64_t flushes = 0;
+    std::uint64_t dirtyFlushes = 0;
+    /** Flushes that found the block absent (already replaced). */
+    std::uint64_t missedFlushes = 0;
+};
+
+/**
+ * The paper's Software-Flush scheme: shared blocks are cached normally,
+ * and compiler- or programmer-inserted flush instructions remove them
+ * (writing back if dirty) at consistency boundaries such as
+ * critical-section exits. The trace carries the flush instructions; the
+ * protocol executes them. A flush of an absent block (replaced since
+ * its last use) costs the clean-flush time and does nothing.
+ */
+class SwFlushProtocol : public CoherenceProtocol
+{
+  public:
+    using CoherenceProtocol::CoherenceProtocol;
+
+    void access(CpuId cpu, RefType type, Addr addr,
+                AccessResult &out) override;
+
+    std::string_view name() const override { return "Software-Flush"; }
+
+    const FlushMeasurements &measurements() const { return measured_; }
+
+  private:
+    FlushMeasurements measured_;
+};
+
+} // namespace swcc
+
+#endif // SWCC_SIM_CACHE_SWFLUSH_PROTOCOL_HH

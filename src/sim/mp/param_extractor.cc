@@ -1,0 +1,89 @@
+#include "sim/mp/param_extractor.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/mp/system.hh"
+
+namespace swcc
+{
+
+ExtractedParams
+extractParams(const TraceBuffer &trace, const CacheConfig &cache_config,
+              const SharedClassifier &shared)
+{
+    ExtractedParams out;
+
+    // Raw-trace measurements. When no classifier is supplied, build the
+    // dynamic one (blocks touched by more than one processor).
+    out.traceStats = analyzeTrace(trace, cache_config.blockBytes, shared);
+
+    // Cache-dependent measurements from a Base-scheme run: miss rates
+    // and the dirty-victim fraction, uncontaminated by coherence
+    // actions.
+    const CpuId cpus = std::max<CpuId>(1, trace.numCpus());
+    {
+        MultiprocessorSystem base_system(Scheme::Base, cache_config, cpus);
+        out.baseStats = base_system.run(trace);
+    }
+
+    // Sharing interaction measurements from a Dragon run.
+    {
+        SharedClassifier measure = shared;
+        if (!measure) {
+            // Dynamic interpretation: precompute the multi-processor
+            // blocks, then classify against that set.
+            auto shared_blocks =
+                std::make_shared<std::unordered_set<Addr>>();
+            std::unordered_map<Addr, CpuId> first;
+            const Addr mask =
+                ~static_cast<Addr>(cache_config.blockBytes - 1);
+            for (const TraceEvent &event : trace) {
+                if (!isData(event.type)) {
+                    continue;
+                }
+                const Addr block = event.addr & mask;
+                auto [it, inserted] = first.emplace(block, event.cpu);
+                if (!inserted && it->second != event.cpu) {
+                    shared_blocks->insert(block);
+                }
+            }
+            measure = [shared_blocks](Addr block) {
+                return shared_blocks->contains(block);
+            };
+        }
+        MultiprocessorSystem dragon_system(Scheme::Dragon, cache_config,
+                                           cpus, measure);
+        dragon_system.run(trace);
+        const auto &dragon =
+            static_cast<const DragonProtocol &>(dragon_system.protocol());
+        out.dragonMeasurements = dragon.measurements();
+    }
+
+    // Assemble the model input.
+    WorkloadParams params = middleParams();
+    params.ls = out.traceStats.ls;
+    params.shd = out.traceStats.shd;
+    params.wr = out.traceStats.wr;
+    params.msdat = out.baseStats.dataMissRate();
+    params.mains = out.baseStats.instrMissRate();
+    params.md = out.baseStats.dirtyMissFraction();
+    params.apl = std::max(
+        1.0, out.traceStats.apl.value_or(
+                 1.0 / paramLevelValue(ParamId::InvApl, Level::Middle)));
+    params.mdshd = out.traceStats.mdshd.value_or(
+        paramLevelValue(ParamId::Mdshd, Level::Middle));
+    params.oclean = out.dragonMeasurements.oclean(
+        paramLevelValue(ParamId::Oclean, Level::Middle));
+    params.opres = out.dragonMeasurements.opres(
+        paramLevelValue(ParamId::Opres, Level::Middle));
+    params.nshd = out.dragonMeasurements.nshd(
+        paramLevelValue(ParamId::Nshd, Level::Middle));
+    params.validate();
+    out.params = params;
+    return out;
+}
+
+} // namespace swcc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-driven processor model.
+ */
+
+#ifndef SWCC_SIM_MP_PROCESSOR_HH
+#define SWCC_SIM_MP_PROCESSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/mp/sim_stats.hh"
+#include "sim/trace/trace_event.hh"
+
+namespace swcc
+{
+
+/**
+ * One processor replaying its program-order slice of the trace.
+ *
+ * The processor is a timing shell: it advances its local clock by the
+ * CPU cost of each reference (the system supplies bus grants) and
+ * accumulates its statistics. Each IFetch costs one execution cycle —
+ * except the fetch of a flush instruction, whose execution cost is the
+ * flush operation itself (paper Table 1 prices "instruction execution
+ * (except flush)").
+ */
+class TraceProcessor
+{
+  public:
+    explicit TraceProcessor(CpuId id) : id_(id) {}
+
+    /** Assigns this processor's program-order event stream. */
+    void
+    setEvents(std::vector<TraceEvent> events)
+    {
+        events_ = std::move(events);
+        next_ = 0;
+    }
+
+    CpuId id() const { return id_; }
+
+    bool done() const { return next_ >= events_.size(); }
+
+    /** Next event to execute. @pre !done() */
+    const TraceEvent &current() const { return events_[next_]; }
+
+    /**
+     * True if the next event after the current one is a flush by this
+     * processor — i.e. the current IFetch fetches a flush instruction.
+     */
+    bool
+    currentFetchesFlush() const
+    {
+        return next_ + 1 < events_.size() &&
+            events_[next_ + 1].type == RefType::Flush;
+    }
+
+    /** Consumes the current event. */
+    void advance() { ++next_; }
+
+    /** Local clock: cycle at which this processor can issue next. */
+    Cycles readyAt = 0.0;
+
+    /** Accumulated statistics. */
+    CpuStats stats;
+
+    /**
+     * Loses one cycle to a snooped write-broadcast (Dragon cycle
+     * stealing).
+     */
+    void
+    stealCycle()
+    {
+        readyAt += 1.0;
+        stats.stolen += 1.0;
+    }
+
+  private:
+    CpuId id_;
+    std::vector<TraceEvent> events_;
+    std::size_t next_ = 0;
+};
+
+} // namespace swcc
+
+#endif // SWCC_SIM_MP_PROCESSOR_HH

@@ -1,0 +1,89 @@
+#include "sim/mp/sim_stats.hh"
+
+#include <algorithm>
+
+namespace swcc
+{
+
+std::uint64_t
+SimStats::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const CpuStats &cpu : perCpu) {
+        total += cpu.instructions;
+    }
+    return total;
+}
+
+std::uint64_t
+SimStats::totalUsefulInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const CpuStats &cpu : perCpu) {
+        total += cpu.usefulInstructions();
+    }
+    return total;
+}
+
+std::uint64_t
+SimStats::totalDataRefs() const
+{
+    std::uint64_t total = 0;
+    for (const CpuStats &cpu : perCpu) {
+        total += cpu.dataRefs;
+    }
+    return total;
+}
+
+double
+SimStats::processingPower() const
+{
+    double power = 0.0;
+    for (const CpuStats &cpu : perCpu) {
+        power += cpu.utilization();
+    }
+    return power;
+}
+
+double
+SimStats::avgUtilization() const
+{
+    return perCpu.empty()
+        ? 0.0
+        : processingPower() / static_cast<double>(perCpu.size());
+}
+
+double
+SimStats::busUtilization() const
+{
+    return makespan > 0.0 ? busBusyCycles / makespan : 0.0;
+}
+
+double
+SimStats::dataMissRate() const
+{
+    const std::uint64_t refs = totalDataRefs();
+    return refs > 0
+        ? static_cast<double>(dataMisses) / static_cast<double>(refs)
+        : 0.0;
+}
+
+double
+SimStats::instrMissRate() const
+{
+    const std::uint64_t instrs = totalInstructions();
+    return instrs > 0
+        ? static_cast<double>(instrMisses) / static_cast<double>(instrs)
+        : 0.0;
+}
+
+double
+SimStats::dirtyMissFraction() const
+{
+    const std::uint64_t misses = instrMisses + dataMisses;
+    return misses > 0
+        ? static_cast<double>(dirtyMisses) / static_cast<double>(misses)
+        : 0.0;
+}
+
+} // namespace swcc

@@ -1,0 +1,228 @@
+#include "sim/mp/system.hh"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/cache/base_protocol.hh"
+#include "sim/cache/dragon_protocol.hh"
+#include "sim/cache/nocache_protocol.hh"
+#include "sim/cache/swflush_protocol.hh"
+
+namespace swcc
+{
+
+namespace
+{
+
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(Scheme scheme, const CacheConfig &cache_config,
+             CpuId num_cpus, SharedClassifier shared)
+{
+    switch (scheme) {
+      case Scheme::Base:
+        return std::make_unique<BaseProtocol>(cache_config, num_cpus);
+      case Scheme::NoCache:
+        return std::make_unique<NoCacheProtocol>(cache_config, num_cpus,
+                                                 std::move(shared));
+      case Scheme::SoftwareFlush:
+        return std::make_unique<SwFlushProtocol>(cache_config, num_cpus);
+      case Scheme::Dragon:
+        return std::make_unique<DragonProtocol>(cache_config, num_cpus,
+                                                std::move(shared));
+    }
+    throw std::invalid_argument("unknown Scheme");
+}
+
+bool
+isMissOp(Operation op)
+{
+    return op == Operation::CleanMissMem || op == Operation::DirtyMissMem ||
+        op == Operation::CleanMissCache || op == Operation::DirtyMissCache;
+}
+
+bool
+isDirtyVictimOp(Operation op)
+{
+    return op == Operation::DirtyMissMem || op == Operation::DirtyMissCache;
+}
+
+} // namespace
+
+MultiprocessorSystem::MultiprocessorSystem(Scheme scheme,
+                                           const CacheConfig &cache_config,
+                                           CpuId num_cpus,
+                                           SharedClassifier shared,
+                                           const BusCostModel &costs)
+    : scheme_(scheme), costs_(costs),
+      protocol_(makeProtocol(scheme, cache_config, num_cpus,
+                             std::move(shared)))
+{
+    processors_.reserve(num_cpus);
+    for (CpuId i = 0; i < num_cpus; ++i) {
+        processors_.emplace_back(i);
+    }
+}
+
+MultiprocessorSystem::MultiprocessorSystem(
+    std::unique_ptr<CoherenceProtocol> protocol,
+    const BusCostModel &costs)
+    : scheme_(Scheme::Base), costs_(costs), protocol_(std::move(protocol))
+{
+    if (!protocol_) {
+        throw std::invalid_argument("need a protocol");
+    }
+    const CpuId num_cpus = protocol_->numCpus();
+    processors_.reserve(num_cpus);
+    for (CpuId i = 0; i < num_cpus; ++i) {
+        processors_.emplace_back(i);
+    }
+}
+
+void
+MultiprocessorSystem::step(TraceProcessor &proc, SimStats &stats)
+{
+    const TraceEvent &event = proc.current();
+    Cycles now = proc.readyAt;
+
+    protocol_->access(event.cpu, event.type, event.addr, result_);
+
+    switch (event.type) {
+      case RefType::IFetch:
+        ++proc.stats.instructions;
+        // A fetched flush instruction's execution cost is the flush
+        // operation itself, charged when the flush event executes.
+        if (!proc.currentFetchesFlush()) {
+            now += 1.0;
+        }
+        break;
+      case RefType::Load:
+      case RefType::Store:
+        ++proc.stats.dataRefs;
+        break;
+      case RefType::Flush:
+        ++proc.stats.flushes;
+        break;
+    }
+
+    for (std::uint8_t i = 0; i < result_.numOps; ++i) {
+        const Operation op = result_.ops[i];
+        const OpCost cost = costs_.cost(op);
+        ++stats.opCounts[operationIndex(op)];
+
+        if (isMissOp(op)) {
+            if (event.type == RefType::IFetch) {
+                ++stats.instrMisses;
+            } else {
+                ++stats.dataMisses;
+            }
+            if (isDirtyVictimOp(op)) {
+                ++stats.dirtyMisses;
+            }
+        }
+
+        if (cost.channel > 0.0) {
+            // Local miss handling precedes the bus transaction.
+            now += cost.cpu - cost.channel;
+            const Bus::Grant grant = bus_.acquire(now, cost.channel);
+            proc.stats.busWaiting += grant.waited;
+            now = grant.start + cost.channel;
+        } else {
+            now += cost.cpu;
+        }
+    }
+
+    for (CpuId victim : result_.steals) {
+        processors_[victim].stealCycle();
+    }
+
+    proc.readyAt = now;
+    proc.stats.finishTime = now;
+    proc.advance();
+
+    if (invariantInterval_ > 0 &&
+        ++eventCount_ % invariantInterval_ == 0) {
+        checkCoherenceInvariants(*protocol_);
+    }
+}
+
+SimStats
+MultiprocessorSystem::run(const TraceBuffer &trace)
+{
+    if (trace.numCpus() > processors_.size()) {
+        throw std::invalid_argument(
+            "trace uses more processors than the system has");
+    }
+
+    // Distribute the interleaved trace into program-order streams.
+    std::vector<std::vector<TraceEvent>> streams(processors_.size());
+    for (const TraceEvent &event : trace) {
+        streams[event.cpu].push_back(event);
+    }
+    for (std::size_t i = 0; i < processors_.size(); ++i) {
+        processors_[i].setEvents(std::move(streams[i]));
+        processors_[i].readyAt = 0.0;
+        processors_[i].stats = CpuStats{};
+    }
+    bus_.reset();
+
+    SimStats stats;
+    stats.scheme = scheme_;
+    stats.protocolName = std::string(protocol_->name());
+    stats.cpus = static_cast<CpuId>(processors_.size());
+
+    // Global-time event loop: always advance the processor with the
+    // smallest local clock.
+    using Entry = std::pair<Cycles, CpuId>;
+    auto later = [](const Entry &a, const Entry &b) {
+        return a.first > b.first ||
+            (a.first == b.first && a.second > b.second);
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(later)>
+        ready(later);
+    for (const TraceProcessor &proc : processors_) {
+        if (!proc.done()) {
+            ready.push({proc.readyAt, proc.id()});
+        }
+    }
+
+    while (!ready.empty()) {
+        const auto [time, cpu] = ready.top();
+        ready.pop();
+        TraceProcessor &proc = processors_[cpu];
+        if (proc.done()) {
+            continue;
+        }
+        if (proc.readyAt > time) {
+            // Clock moved (stolen cycles) since this entry was queued.
+            ready.push({proc.readyAt, cpu});
+            continue;
+        }
+        step(proc, stats);
+        if (!proc.done()) {
+            ready.push({proc.readyAt, cpu});
+        }
+    }
+
+    stats.perCpu.reserve(processors_.size());
+    for (const TraceProcessor &proc : processors_) {
+        stats.perCpu.push_back(proc.stats);
+        stats.makespan = std::max(stats.makespan, proc.stats.finishTime);
+    }
+    stats.busBusyCycles = bus_.busyCycles();
+    stats.busTransactions = bus_.transactions();
+    return stats;
+}
+
+SimStats
+simulateTrace(Scheme scheme, const TraceBuffer &trace,
+              const CacheConfig &cache_config,
+              const SharedClassifier &shared)
+{
+    MultiprocessorSystem system(scheme, cache_config,
+                                std::max<CpuId>(1, trace.numCpus()),
+                                shared);
+    return system.run(trace);
+}
+
+} // namespace swcc

@@ -1,0 +1,59 @@
+#include "sim/mp/validation.hh"
+
+#include "core/scheme_evaluator.hh"
+#include "sim/mp/param_extractor.hh"
+#include "sim/mp/system.hh"
+#include "sim/synth/trace_generator.hh"
+
+namespace swcc
+{
+
+double
+ValidationPoint::errorPercent() const
+{
+    return simPower > 0.0
+        ? 100.0 * (modelPower - simPower) / simPower
+        : 0.0;
+}
+
+std::vector<ValidationPoint>
+validate(const ValidationConfig &config)
+{
+    std::vector<ValidationPoint> points;
+    points.reserve(config.maxCpus);
+
+    const bool software_trace = config.scheme == Scheme::SoftwareFlush;
+
+    for (CpuId cpus = 1; cpus <= config.maxCpus; ++cpus) {
+        SyntheticWorkloadConfig workload = profileConfig(
+            config.profile, cpus, config.instructionsPerCpu,
+            config.seed + cpus, software_trace);
+        const TraceBuffer trace = generateTrace(workload);
+        const SharedClassifier shared = workload.sharedClassifier();
+
+        CacheConfig cache;
+        cache.sizeBytes = config.cacheBytes;
+        cache.blockBytes = workload.blockBytes;
+
+        ValidationPoint point;
+        point.profile = config.profile;
+        point.scheme = config.scheme;
+        point.cpus = cpus;
+        point.cacheBytes = config.cacheBytes;
+
+        MultiprocessorSystem system(config.scheme, cache, cpus, shared);
+        point.sim = system.run(trace);
+        point.simPower = point.sim.processingPower();
+
+        const ExtractedParams extracted =
+            extractParams(trace, cache, shared);
+        point.model =
+            evaluateBus(config.scheme, extracted.params, cpus);
+        point.modelPower = point.model.processingPower;
+
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+} // namespace swcc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Model-vs-simulation validation harness (paper Section 3).
+ */
+
+#ifndef SWCC_SIM_MP_VALIDATION_HH
+#define SWCC_SIM_MP_VALIDATION_HH
+
+#include <vector>
+
+#include "core/bus_model.hh"
+#include "core/types.hh"
+#include "sim/cache/cache_config.hh"
+#include "sim/mp/sim_stats.hh"
+#include "sim/synth/app_profiles.hh"
+
+namespace swcc
+{
+
+/** One validated operating point. */
+struct ValidationPoint
+{
+    AppProfile profile = AppProfile::PopsLike;
+    Scheme scheme = Scheme::Base;
+    CpuId cpus = 0;
+    std::size_t cacheBytes = 0;
+
+    /** Simulator measurement. */
+    double simPower = 0.0;
+    /** Analytical model prediction (parameters extracted from trace). */
+    double modelPower = 0.0;
+    /** Full model solution, for detailed reporting. */
+    BusSolution model;
+    /** Full simulator statistics. */
+    SimStats sim;
+
+    /** Signed (model - sim) / sim in percent. */
+    double errorPercent() const;
+};
+
+/** Configuration of one validation experiment. */
+struct ValidationConfig
+{
+    AppProfile profile = AppProfile::PopsLike;
+    Scheme scheme = Scheme::Dragon;
+    std::size_t cacheBytes = 64 * 1024;
+    /** Evaluate 1..maxCpus processors. */
+    CpuId maxCpus = 4;
+    std::size_t instructionsPerCpu = 150'000;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Runs one model-vs-simulation validation experiment.
+ *
+ * For each processor count a fresh trace of the profile is generated,
+ * the scheme is simulated on it, the Table 2 parameters are extracted
+ * from that same trace, and the analytical model is evaluated on the
+ * extracted parameters — exactly the paper's validation flow. Software
+ * schemes are validated with flush-bearing traces (an extension the
+ * paper's hardware-coherent traces ruled out).
+ */
+std::vector<ValidationPoint> validate(const ValidationConfig &config);
+
+} // namespace swcc
+
+#endif // SWCC_SIM_MP_VALIDATION_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Network-model validation experiments: Patel's analytical model
+ * against the omega-network simulator.
+ */
+
+#ifndef SWCC_SIM_NET_NET_EXPERIMENT_HH
+#define SWCC_SIM_NET_NET_EXPERIMENT_HH
+
+#include <vector>
+
+#include "sim/net/omega_network.hh"
+#include "sim/net/packet_network.hh"
+
+namespace swcc
+{
+
+/** One (rate, size) operating point compared model-vs-simulation. */
+struct NetworkValidationPoint
+{
+    /** Transactions per computing cycle, m. */
+    double rate = 0.0;
+    /** Network cycles per transaction, t. */
+    double size = 0.0;
+    unsigned stages = 0;
+    /** Crossbar dimension. */
+    unsigned switchDim = 2;
+    NetMode mode = NetMode::UnitRequest;
+
+    /** Model fixed point (compute fraction U of Equations 4-6). */
+    double modelCompute = 0.0;
+    /** Simulator compute fraction. */
+    double simCompute = 0.0;
+    /** Model end-to-end acceptance probability. */
+    double modelAcceptance = 0.0;
+    /** Simulator acceptance probability. */
+    double simAcceptance = 0.0;
+    /** Simulator per-stage input loads m_0..m_n. */
+    std::vector<double> simStageLoads;
+    /** Model per-stage loads from the simulator's m_0. */
+    std::vector<double> modelStageLoads;
+
+    /** Signed (model - sim)/sim compute-fraction error, percent. */
+    double computeErrorPercent() const;
+};
+
+/**
+ * Runs one validation point.
+ *
+ * @param rate Transactions per computing cycle (m > 0).
+ * @param size Network cycles per transaction (t >= 1).
+ * @param stages Switch stages.
+ * @param mode Unit-request (Patel's approximation, expected to match)
+ *        or true circuit switching (quantifies the approximation).
+ * @param cycles Simulated network cycles.
+ * @param seed RNG seed.
+ */
+NetworkValidationPoint validateNetworkPoint(double rate, double size,
+                                            unsigned stages, NetMode mode,
+                                            std::uint64_t cycles = 200'000,
+                                            std::uint64_t seed = 1,
+                                            unsigned switch_dim = 2);
+
+/**
+ * Sweeps unit-request rates at a fixed message size, producing the
+ * model-vs-simulation series of the X1 extension experiment.
+ */
+std::vector<NetworkValidationPoint>
+networkValidationSweep(const std::vector<double> &rates, double size,
+                       unsigned stages, NetMode mode,
+                       std::uint64_t cycles = 200'000,
+                       std::uint64_t seed = 1);
+
+/** One packet-network operating point compared model-vs-simulation. */
+struct PacketValidationPoint
+{
+    /** Mean computing cycles between transactions. */
+    double think = 0.0;
+    unsigned requestWords = 0;
+    unsigned responseWords = 0;
+    unsigned stages = 0;
+
+    /** Model prediction (Kruskal-Snir fixed point). */
+    double modelCompute = 0.0;
+    double modelLatency = 0.0;
+    double modelLinkLoad = 0.0;
+    /** Simulator measurements. */
+    double simCompute = 0.0;
+    double simLatency = 0.0;
+    double simLinkLoad = 0.0;
+
+    /** Signed (model - sim)/sim compute-fraction error, percent. */
+    double computeErrorPercent() const;
+};
+
+/**
+ * Runs one buffered packet-switched validation point: the Kruskal-Snir
+ * model of core/packet_network_model.hh against the cycle-level
+ * packet simulator.
+ */
+PacketValidationPoint validatePacketPoint(double think,
+                                          unsigned request_words,
+                                          unsigned response_words,
+                                          unsigned stages,
+                                          std::uint64_t cycles = 200'000,
+                                          std::uint64_t seed = 1);
+
+} // namespace swcc
+
+#endif // SWCC_SIM_NET_NET_EXPERIMENT_HH

@@ -1,0 +1,257 @@
+#include "sim/net/omega_network.hh"
+
+#include <stdexcept>
+
+namespace swcc
+{
+
+namespace
+{
+
+std::uint32_t
+portCount(const OmegaConfig &config)
+{
+    std::uint64_t ports = 1;
+    for (unsigned i = 0; i < config.stages; ++i) {
+        ports *= config.switchDim;
+    }
+    if (ports > (1u << 16)) {
+        throw std::invalid_argument("network too large (> 64K ports)");
+    }
+    return static_cast<std::uint32_t>(ports);
+}
+
+} // namespace
+
+void
+OmegaConfig::validate() const
+{
+    if (stages == 0 || stages > 16) {
+        throw std::invalid_argument("stages must be in [1, 16]");
+    }
+    if (switchDim < 2) {
+        throw std::invalid_argument("switch dimension must be >= 2");
+    }
+    if (meanThink < 0.0) {
+        throw std::invalid_argument("meanThink must be >= 0");
+    }
+    if (messageCycles < 1.0) {
+        throw std::invalid_argument("messageCycles must be >= 1");
+    }
+    portCount(*this);
+}
+
+OmegaNetwork::OmegaNetwork(const OmegaConfig &config)
+    : config_(config), ports_(portCount(config)), rng_(config.seed)
+{
+    config_.validate();
+    sources_.reserve(ports_);
+    for (std::uint32_t i = 0; i < ports_; ++i) {
+        sources_.emplace_back(config_.meanThink, config_.messageCycles,
+                              ports_);
+    }
+    if (config_.mode == NetMode::Circuit) {
+        portFreeAt_.assign(config_.stages,
+                           std::vector<double>(ports_, 0.0));
+    }
+    stageOffered_.assign(config_.stages, 0);
+}
+
+std::vector<std::uint32_t>
+OmegaNetwork::route(const std::vector<std::uint32_t> &requesters)
+{
+    struct Attempt
+    {
+        std::uint32_t source;
+        std::uint32_t dest;
+        std::uint32_t pos;
+        bool alive = true;
+    };
+
+    std::vector<Attempt> attempts;
+    attempts.reserve(requesters.size());
+    for (std::uint32_t src : requesters) {
+        attempts.push_back({src, sources_[src].dest(), src, true});
+    }
+
+    const unsigned n = config_.stages;
+    const std::uint32_t dim = config_.switchDim;
+    const std::uint32_t rotate_div = ports_ / dim; // dim^(n-1)
+
+    // winner[p] = index of the attempt currently holding output port p
+    // at this stage, or -1; contenders[p] counts arrivals so that a
+    // uniformly random one survives (reservoir of size one).
+    std::vector<std::int32_t> winner(ports_);
+    std::vector<std::uint32_t> contenders(ports_);
+
+    for (unsigned stage = 0; stage < n; ++stage) {
+        std::uint64_t offered = 0;
+        std::fill(winner.begin(), winner.end(), -1);
+        std::fill(contenders.begin(), contenders.end(), 0u);
+
+        // Destination digit weight for this stage: dim^(n-1-stage).
+        std::uint32_t digit_div = 1;
+        for (unsigned i = 0; i + stage + 1 < n; ++i) {
+            digit_div *= dim;
+        }
+
+        for (std::size_t k = 0; k < attempts.size(); ++k) {
+            Attempt &att = attempts[k];
+            if (!att.alive) {
+                continue;
+            }
+            ++offered;
+
+            // k-ary perfect shuffle into the stage (rotate the top
+            // digit to the bottom), then destination-digit routing.
+            const std::uint32_t shuffled = n == 1
+                ? att.pos
+                : (att.pos % rotate_div) * dim + att.pos / rotate_div;
+            const std::uint32_t out_digit =
+                (att.dest / digit_div) % dim;
+            const std::uint32_t port =
+                (shuffled / dim) * dim + out_digit;
+
+            if (config_.mode == NetMode::Circuit &&
+                portFreeAt_[stage][port] > now_) {
+                att.alive = false;
+                continue;
+            }
+
+            const std::uint32_t count = ++contenders[port];
+            const std::int32_t holder = winner[port];
+            if (holder < 0) {
+                winner[port] = static_cast<std::int32_t>(k);
+                att.pos = port;
+                continue;
+            }
+            // Up to dim inputs of one switch may want this output: the
+            // i-th contender replaces the incumbent with probability
+            // 1/i, making the final survivor uniform.
+            if (rng_.chance(1.0 / static_cast<double>(count))) {
+                attempts[static_cast<std::size_t>(holder)].alive = false;
+                winner[port] = static_cast<std::int32_t>(k);
+                att.pos = port;
+            } else {
+                att.alive = false;
+            }
+        }
+        stageOffered_[stage] += offered;
+    }
+
+    std::vector<std::uint32_t> accepted;
+    for (const Attempt &att : attempts) {
+        if (att.alive) {
+            accepted.push_back(att.source);
+        }
+    }
+
+    if (config_.mode == NetMode::Circuit) {
+        // Winners claim every output port along their path for the
+        // whole message duration.
+        for (std::uint32_t src : accepted) {
+            std::uint32_t pos = src;
+            const std::uint32_t dest = sources_[src].dest();
+            std::uint32_t digit_div = ports_ / dim; // dim^(n-1)
+            for (unsigned stage = 0; stage < n; ++stage) {
+                const std::uint32_t shuffled = n == 1
+                    ? pos
+                    : (pos % rotate_div) * dim + pos / rotate_div;
+                const std::uint32_t out_digit =
+                    (dest / digit_div) % dim;
+                pos = (shuffled / dim) * dim + out_digit;
+                portFreeAt_[stage][pos] = now_ + config_.messageCycles;
+                digit_div /= dim;
+            }
+        }
+    }
+    return accepted;
+}
+
+void
+OmegaNetwork::stepCycle()
+{
+    for (NetSource &source : sources_) {
+        source.countCycle();
+    }
+
+    std::vector<std::uint32_t> requesters;
+    for (std::uint32_t i = 0; i < ports_; ++i) {
+        if (sources_[i].state() == NetSource::State::Requesting) {
+            requesters.push_back(i);
+        }
+    }
+
+    attempts_ += requesters.size();
+    const std::vector<std::uint32_t> accepted = route(requesters);
+    accepted_ += accepted.size();
+
+    // A source whose transaction completes this cycle must not also
+    // consume a think cycle now; its thinking starts next cycle.
+    std::vector<std::uint8_t> completed(ports_, 0);
+    for (std::uint32_t src : accepted) {
+        if (config_.mode == NetMode::UnitRequest) {
+            sources_[src].unitAccepted(rng_);
+            if (sources_[src].state() == NetSource::State::Thinking) {
+                completed[src] = 1;
+            }
+        } else {
+            // The setup cycle is the first held cycle, so the new
+            // holder ticks normally below.
+            sources_[src].startHolding(config_.messageCycles);
+        }
+    }
+
+    for (std::uint32_t i = 0; i < ports_; ++i) {
+        NetSource &source = sources_[i];
+        if (source.state() != NetSource::State::Requesting &&
+            completed[i] == 0) {
+            source.tick(rng_);
+        }
+    }
+
+    now_ += 1.0;
+}
+
+OmegaStats
+OmegaNetwork::run(std::uint64_t cycles)
+{
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+        stepCycle();
+    }
+
+    OmegaStats stats;
+    stats.cycles = cycles;
+    stats.attempts = attempts_;
+    stats.accepted = accepted_;
+
+    std::uint64_t think = 0;
+    std::uint64_t total = 0;
+    for (const NetSource &source : sources_) {
+        think += source.thinkCycles();
+        total += source.thinkCycles() + source.requestCycles() +
+            source.holdCycles();
+        stats.transactions += source.transactions();
+    }
+    stats.computeFraction = total > 0
+        ? static_cast<double>(think) / static_cast<double>(total)
+        : 0.0;
+    stats.acceptance = attempts_ > 0
+        ? static_cast<double>(accepted_) / static_cast<double>(attempts_)
+        : 1.0;
+
+    const double port_cycles =
+        static_cast<double>(cycles) * static_cast<double>(ports_);
+    stats.stageLoads.reserve(config_.stages + 1);
+    for (unsigned stage = 0; stage < config_.stages; ++stage) {
+        stats.stageLoads.push_back(
+            static_cast<double>(stageOffered_[stage]) / port_cycles);
+    }
+    stats.stageLoads.push_back(
+        static_cast<double>(accepted_) / port_cycles);
+    stats.throughputPerPort =
+        static_cast<double>(accepted_) / port_cycles;
+    return stats;
+}
+
+} // namespace swcc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for the synthetic
+ * workload generator and the network simulator.
+ *
+ * xoshiro256** seeded through SplitMix64: fast, high quality, and
+ * byte-for-byte reproducible across platforms (unlike the standard
+ * library distributions, whose outputs are implementation-defined).
+ */
+
+#ifndef SWCC_SIM_SYNTH_RNG_HH
+#define SWCC_SIM_SYNTH_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace swcc
+{
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ */
+class Rng
+{
+  public:
+    /** Seeds the state deterministically from @p seed via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) ; bound must be positive. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Geometric number of trials until first success (support {1, 2,
+     * ...}), success probability @p p in (0, 1]. Mean 1/p.
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Zipf-like rank in [0, n) with exponent @p s (s = 0 is uniform).
+     * Used for skewed block popularity; implemented by inverse-CDF
+     * over precomputed weights is avoided — this uses the rejection
+     *-free approximation via the power of a uniform, adequate for
+     * workload shaping.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace swcc
+
+#endif // SWCC_SIM_SYNTH_RNG_HH

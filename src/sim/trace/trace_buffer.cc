@@ -1,0 +1,35 @@
+#include "sim/trace/trace_buffer.hh"
+
+#include <algorithm>
+
+namespace swcc
+{
+
+void
+TraceBuffer::clear()
+{
+    events_.clear();
+    numCpus_ = 0;
+}
+
+TraceBuffer
+TraceBuffer::restrictedToCpus(CpuId cpus) const
+{
+    TraceBuffer out;
+    for (const TraceEvent &event : events_) {
+        if (event.cpu < cpus) {
+            out.append(event);
+        }
+    }
+    return out;
+}
+
+std::size_t
+TraceBuffer::countType(RefType type) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        events_.begin(), events_.end(),
+        [type](const TraceEvent &e) { return e.type == type; }));
+}
+
+} // namespace swcc

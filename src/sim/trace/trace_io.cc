@@ -1,0 +1,190 @@
+#include "sim/trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swcc
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> kMagic = {
+    'S', 'W', 'C', 'C', 'T', 'R', 'C', '1',
+};
+
+void
+writeU64(std::ostream &os, std::uint64_t value)
+{
+    std::array<char, 8> bytes;
+    for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xffu);
+    }
+    os.write(bytes.data(), bytes.size());
+}
+
+std::uint64_t
+readU64(std::istream &is)
+{
+    std::array<char, 8> bytes{};
+    is.read(bytes.data(), bytes.size());
+    if (!is) {
+        throw std::runtime_error("truncated trace: expected 8 bytes");
+    }
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+        value = (value << 8) |
+            static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]);
+    }
+    return value;
+}
+
+RefType
+refTypeFromChar(char c, std::size_t line_no)
+{
+    switch (c) {
+      case 'i': return RefType::IFetch;
+      case 'l': return RefType::Load;
+      case 's': return RefType::Store;
+      case 'f': return RefType::Flush;
+      default:
+        throw std::runtime_error(
+            "bad reference type '" + std::string(1, c) + "' on line " +
+            std::to_string(line_no));
+    }
+}
+
+char
+refTypeToChar(RefType type)
+{
+    switch (type) {
+      case RefType::IFetch: return 'i';
+      case RefType::Load:   return 'l';
+      case RefType::Store:  return 's';
+      case RefType::Flush:  return 'f';
+    }
+    return '?';
+}
+
+} // namespace
+
+void
+writeBinaryTrace(const TraceBuffer &trace, std::ostream &os)
+{
+    os.write(kMagic.data(), kMagic.size());
+    writeU64(os, trace.size());
+    for (const TraceEvent &event : trace) {
+        writeU64(os, event.addr);
+        const std::uint64_t meta =
+            static_cast<std::uint64_t>(event.cpu) |
+            (static_cast<std::uint64_t>(event.type) << 16);
+        writeU64(os, meta);
+    }
+    if (!os) {
+        throw std::runtime_error("failed to write binary trace");
+    }
+}
+
+TraceBuffer
+readBinaryTrace(std::istream &is)
+{
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != kMagic) {
+        throw std::runtime_error("not a SWCC binary trace (bad magic)");
+    }
+    const std::uint64_t count = readU64(is);
+    TraceBuffer trace;
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceEvent event;
+        event.addr = readU64(is);
+        const std::uint64_t meta = readU64(is);
+        event.cpu = static_cast<CpuId>(meta & 0xffffu);
+        const auto type_bits = static_cast<std::uint8_t>(meta >> 16);
+        if (type_bits > static_cast<std::uint8_t>(RefType::Flush)) {
+            throw std::runtime_error("bad reference type in binary trace");
+        }
+        event.type = static_cast<RefType>(type_bits);
+        trace.append(event);
+    }
+    return trace;
+}
+
+void
+writeTextTrace(const TraceBuffer &trace, std::ostream &os)
+{
+    os << "# swcc trace: cpu type addr(hex); " << trace.size()
+       << " events, " << trace.numCpus() << " cpus\n";
+    for (const TraceEvent &event : trace) {
+        os << event.cpu << ' ' << refTypeToChar(event.type) << ' '
+           << std::hex << event.addr << std::dec << '\n';
+    }
+    if (!os) {
+        throw std::runtime_error("failed to write text trace");
+    }
+}
+
+TraceBuffer
+readTextTrace(std::istream &is)
+{
+    TraceBuffer trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream fields(line);
+        unsigned cpu = 0;
+        std::string type_token;
+        std::string addr_token;
+        if (!(fields >> cpu >> type_token >> addr_token) ||
+            type_token.size() != 1) {
+            throw std::runtime_error(
+                "malformed trace line " + std::to_string(line_no) +
+                ": '" + line + "'");
+        }
+        TraceEvent event;
+        event.cpu = static_cast<CpuId>(cpu);
+        event.type = refTypeFromChar(type_token[0], line_no);
+        event.addr = std::stoull(addr_token, nullptr, 16);
+        trace.append(event);
+    }
+    return trace;
+}
+
+void
+saveTrace(const TraceBuffer &trace, const std::string &path)
+{
+    const bool binary = path.ends_with(".swcc");
+    std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+    if (!os) {
+        throw std::runtime_error("cannot open " + path + " for writing");
+    }
+    if (binary) {
+        writeBinaryTrace(trace, os);
+    } else {
+        writeTextTrace(trace, os);
+    }
+}
+
+TraceBuffer
+loadTrace(const std::string &path)
+{
+    const bool binary = path.ends_with(".swcc");
+    std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+    if (!is) {
+        throw std::runtime_error("cannot open " + path + " for reading");
+    }
+    return binary ? readBinaryTrace(is) : readTextTrace(is);
+}
+
+} // namespace swcc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trace serialization: a compact binary format and a human-readable
+ * text format.
+ */
+
+#ifndef SWCC_SIM_TRACE_TRACE_IO_HH
+#define SWCC_SIM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace/trace_buffer.hh"
+
+namespace swcc
+{
+
+/**
+ * Writes a trace in the binary format (magic "SWCCTRC1", little-endian
+ * event count, then packed records).
+ *
+ * @throws std::runtime_error on stream failure.
+ */
+void writeBinaryTrace(const TraceBuffer &trace, std::ostream &os);
+
+/**
+ * Reads a trace in the binary format.
+ *
+ * @throws std::runtime_error on malformed input or stream failure.
+ */
+TraceBuffer readBinaryTrace(std::istream &is);
+
+/**
+ * Writes a trace as text: one "cpu type hex-address" triple per line,
+ * with '#' comment lines permitted.
+ */
+void writeTextTrace(const TraceBuffer &trace, std::ostream &os);
+
+/**
+ * Reads the text format; blank lines and '#' comments are skipped.
+ *
+ * @throws std::runtime_error naming the offending line on parse errors.
+ */
+TraceBuffer readTextTrace(std::istream &is);
+
+/** Convenience file wrappers; format chosen by extension (".swcc" binary, anything else text). */
+void saveTrace(const TraceBuffer &trace, const std::string &path);
+TraceBuffer loadTrace(const std::string &path);
+
+} // namespace swcc
+
+#endif // SWCC_SIM_TRACE_TRACE_IO_HH

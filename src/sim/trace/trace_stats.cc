@@ -1,0 +1,172 @@
+#include "sim/trace/trace_stats.hh"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace swcc
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::size_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** State of the apl run-length measurement for one block. */
+struct RunState
+{
+    CpuId cpu = 0;
+    std::size_t length = 0;
+    bool hasWrite = false;
+};
+
+/** Per-(cpu, block) dirtiness for mdshd measurement. */
+struct FlushKey
+{
+    Addr block;
+    CpuId cpu;
+    bool operator==(const FlushKey &) const = default;
+};
+
+struct FlushKeyHash
+{
+    std::size_t
+    operator()(const FlushKey &key) const
+    {
+        return std::hash<Addr>()(key.block * 0x9e3779b97f4a7c15ull) ^
+            std::hash<CpuId>()(key.cpu);
+    }
+};
+
+} // namespace
+
+TraceStatistics
+analyzeTrace(const TraceBuffer &trace, std::size_t block_bytes,
+             const SharedClassifier &classifier)
+{
+    if (!isPowerOfTwo(block_bytes)) {
+        throw std::invalid_argument("block size must be a power of two");
+    }
+
+    TraceStatistics stats;
+    stats.blockBytes = block_bytes;
+
+    const Addr block_mask = ~static_cast<Addr>(block_bytes - 1);
+
+    // Pass 1: identify shared blocks.
+    std::unordered_map<Addr, CpuId> first_toucher;
+    std::unordered_set<Addr> shared_blocks;
+    for (const TraceEvent &event : trace) {
+        if (!isData(event.type)) {
+            continue;
+        }
+        const Addr block = event.addr & block_mask;
+        if (classifier) {
+            if (classifier(block)) {
+                shared_blocks.insert(block);
+            }
+            continue;
+        }
+        auto [it, inserted] = first_toucher.emplace(block, event.cpu);
+        if (!inserted && it->second != event.cpu) {
+            shared_blocks.insert(block);
+        }
+    }
+
+    auto is_shared = [&](Addr block) {
+        return shared_blocks.contains(block);
+    };
+
+    // Pass 2: counts, apl run lengths, mdshd.
+    std::unordered_map<Addr, RunState> runs;
+    std::unordered_map<FlushKey, bool, FlushKeyHash> dirty;
+    std::unordered_set<Addr> data_blocks;
+    for (const TraceEvent &event : trace) {
+        const Addr block = event.addr & block_mask;
+        switch (event.type) {
+          case RefType::IFetch:
+            ++stats.instructions;
+            continue;
+          case RefType::Load:
+            ++stats.loads;
+            break;
+          case RefType::Store:
+            ++stats.stores;
+            break;
+          case RefType::Flush:
+            ++stats.flushes;
+            {
+                auto it = dirty.find(FlushKey{block, event.cpu});
+                if (it != dirty.end() && it->second) {
+                    ++stats.dirtyFlushes;
+                    it->second = false;
+                }
+            }
+            continue;
+        }
+
+        // Loads and stores only from here on.
+        ++stats.dataRefs;
+        data_blocks.insert(block);
+        const bool shared = is_shared(block);
+        const bool write = event.type == RefType::Store;
+        if (shared) {
+            ++stats.sharedRefs;
+            if (write) {
+                ++stats.sharedWrites;
+            }
+            if (write) {
+                dirty[FlushKey{block, event.cpu}] = true;
+            }
+
+            // apl: count the run of references by one processor, at
+            // least one a write, terminated by another processor.
+            RunState &run = runs[block];
+            if (run.length > 0 && run.cpu == event.cpu) {
+                ++run.length;
+                run.hasWrite = run.hasWrite || write;
+            } else {
+                if (run.length > 0 && run.hasWrite) {
+                    ++stats.aplRuns;
+                    stats.aplRunRefs += run.length;
+                }
+                run.cpu = event.cpu;
+                run.length = 1;
+                run.hasWrite = write;
+            }
+        }
+    }
+
+    stats.dataBlocks = data_blocks.size();
+    stats.sharedBlocks = shared_blocks.size();
+
+    if (stats.instructions > 0) {
+        stats.ls = static_cast<double>(stats.dataRefs) /
+            static_cast<double>(stats.instructions);
+    }
+    if (stats.dataRefs > 0) {
+        stats.shd = static_cast<double>(stats.sharedRefs) /
+            static_cast<double>(stats.dataRefs);
+    }
+    if (stats.sharedRefs > 0) {
+        stats.wr = static_cast<double>(stats.sharedWrites) /
+            static_cast<double>(stats.sharedRefs);
+    }
+    if (stats.aplRuns > 0) {
+        stats.apl = static_cast<double>(stats.aplRunRefs) /
+            static_cast<double>(stats.aplRuns);
+    }
+    if (stats.flushes > 0) {
+        stats.mdshd = static_cast<double>(stats.dirtyFlushes) /
+            static_cast<double>(stats.flushes);
+        stats.aplPerFlush = static_cast<double>(stats.sharedRefs) /
+            static_cast<double>(stats.flushes);
+    }
+    return stats;
+}
+
+} // namespace swcc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the per-operation cost breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/breakdown.hh"
+#include "core/per_instruction.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(BreakdownTest, TotalsMatchPerInstructionCost)
+{
+    const BusCostModel costs;
+    for (Scheme scheme : kAllSchemes) {
+        const FrequencyVector freqs =
+            operationFrequencies(scheme, middleParams());
+        const CostBreakdown breakdown = costBreakdown(freqs, costs);
+        const PerInstructionCost cost = perInstructionCost(freqs, costs);
+        EXPECT_NEAR(breakdown.totalCpu, cost.cpu, 1e-12)
+            << schemeName(scheme);
+        EXPECT_NEAR(breakdown.totalChannel, cost.channel, 1e-12)
+            << schemeName(scheme);
+    }
+}
+
+TEST(BreakdownTest, SharesSumToOne)
+{
+    const CostBreakdown breakdown =
+        costBreakdown(Scheme::SoftwareFlush, middleParams());
+    double cpu_share = 0.0;
+    double channel_share = 0.0;
+    for (const CostContribution &item : breakdown.items) {
+        cpu_share += item.cpuShare;
+        channel_share += item.channelShare;
+    }
+    EXPECT_NEAR(cpu_share, 1.0, 1e-12);
+    EXPECT_NEAR(channel_share, 1.0, 1e-12);
+}
+
+TEST(BreakdownTest, SortedByCpuCycles)
+{
+    const CostBreakdown breakdown =
+        costBreakdown(Scheme::Dragon, middleParams());
+    for (std::size_t i = 1; i < breakdown.items.size(); ++i) {
+        EXPECT_GE(breakdown.items[i - 1].cpuCycles,
+                  breakdown.items[i].cpuCycles);
+    }
+}
+
+TEST(BreakdownTest, InstructionExecutionDominatesAtLowOverhead)
+{
+    // With medium parameters, useful execution is still the largest
+    // single CPU item for every scheme.
+    for (Scheme scheme : kAllSchemes) {
+        const CostBreakdown breakdown =
+            costBreakdown(scheme, middleParams());
+        EXPECT_EQ(breakdown.items.front().op, Operation::InstrExec)
+            << schemeName(scheme);
+        EXPECT_GT(breakdown.usefulShare(), 0.5) << schemeName(scheme);
+    }
+}
+
+TEST(BreakdownTest, NoCacheBusGoesToReadThroughs)
+{
+    const CostBreakdown breakdown =
+        costBreakdown(Scheme::NoCache, middleParams());
+    // Read-throughs dominate the shared-channel demand (4 cycles per
+    // read, three reads per write at wr = 0.25).
+    const CostContribution reads =
+        breakdown.of(Operation::ReadThrough);
+    EXPECT_GT(reads.channelShare, 0.5);
+}
+
+TEST(BreakdownTest, OfReturnsZerosForAbsentOperations)
+{
+    const CostBreakdown breakdown =
+        costBreakdown(Scheme::Base, middleParams());
+    const CostContribution flush =
+        breakdown.of(Operation::DirtyFlush);
+    EXPECT_DOUBLE_EQ(flush.frequency, 0.0);
+    EXPECT_DOUBLE_EQ(flush.cpuCycles, 0.0);
+}
+
+TEST(BreakdownTest, PrintsAnAlignedTable)
+{
+    const CostBreakdown breakdown =
+        costBreakdown(Scheme::SoftwareFlush, middleParams());
+    std::ostringstream os;
+    printBreakdown(breakdown, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Instruction execution"), std::string::npos);
+    EXPECT_NE(text.find("total (c, b)"), std::string::npos);
+    EXPECT_NE(text.find("Clean flush"), std::string::npos);
+}
+
+TEST(BreakdownTest, RejectsUnsupportedOperations)
+{
+    const NetworkCostModel costs(4);
+    const FrequencyVector freqs =
+        operationFrequencies(Scheme::Dragon, middleParams());
+    EXPECT_THROW(costBreakdown(freqs, costs), std::invalid_argument);
+}
+
+} // namespace
+} // namespace swcc

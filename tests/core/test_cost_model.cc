@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the system model cost tables (paper Tables 1 and 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(BusCostModelTest, MatchesPaperTable1)
+{
+    const BusCostModel costs;
+    const struct
+    {
+        Operation op;
+        double cpu;
+        double bus;
+    } expected[] = {
+        {Operation::InstrExec, 1, 0},
+        {Operation::CleanMissMem, 10, 7},
+        {Operation::DirtyMissMem, 14, 11},
+        {Operation::ReadThrough, 5, 4},
+        {Operation::WriteThrough, 2, 1},
+        {Operation::CleanFlush, 1, 0},
+        {Operation::DirtyFlush, 6, 4},
+        {Operation::WriteBroadcast, 2, 1},
+        {Operation::CleanMissCache, 9, 6},
+        {Operation::DirtyMissCache, 13, 10},
+        {Operation::CycleSteal, 1, 0},
+    };
+    for (const auto &row : expected) {
+        const OpCost cost = costs.cost(row.op);
+        EXPECT_DOUBLE_EQ(cost.cpu, row.cpu) << operationName(row.op);
+        EXPECT_DOUBLE_EQ(cost.channel, row.bus) << operationName(row.op);
+    }
+}
+
+TEST(BusCostModelTest, SupportsEveryOperation)
+{
+    const BusCostModel costs;
+    for (Operation op : kAllOperations) {
+        EXPECT_TRUE(costs.supports(op)) << operationName(op);
+    }
+}
+
+TEST(BusCostModelTest, ChannelTimeNeverExceedsCpuTime)
+{
+    const BusCostModel costs;
+    for (Operation op : kAllOperations) {
+        const OpCost cost = costs.cost(op);
+        EXPECT_LE(cost.channel, cost.cpu) << operationName(op);
+        EXPECT_GE(cost.channel, 0.0) << operationName(op);
+    }
+}
+
+TEST(BusCostModelTest, SetCostOverridesForAblations)
+{
+    BusCostModel costs;
+    costs.setCost(Operation::WriteBroadcast, {4.0, 2.0});
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::WriteBroadcast).cpu, 4.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::WriteBroadcast).channel, 2.0);
+}
+
+TEST(BusCostModelTest, SetCostRejectsMalformedCosts)
+{
+    BusCostModel costs;
+    EXPECT_THROW(costs.setCost(Operation::InstrExec, {-1.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(costs.setCost(Operation::InstrExec, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+/** Network costs follow the closed forms of Table 9 for any n. */
+class NetworkCostModelTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(NetworkCostModelTest, MatchesPaperTable9)
+{
+    const unsigned n = GetParam();
+    const NetworkCostModel costs(n);
+    const double two_n = 2.0 * n;
+
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::InstrExec).cpu, 1.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::InstrExec).channel, 0.0);
+
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::CleanMissMem).cpu, 9 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::CleanMissMem).channel,
+                     6 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::DirtyMissMem).cpu, 12 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::DirtyMissMem).channel,
+                     9 + two_n);
+
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::CleanFlush).cpu, 1.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::CleanFlush).channel, 0.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::DirtyFlush).cpu, 7 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::DirtyFlush).channel,
+                     5 + two_n);
+
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::WriteThrough).cpu, 3 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::WriteThrough).channel,
+                     2 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::ReadThrough).cpu, 4 + two_n);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::ReadThrough).channel,
+                     3 + two_n);
+}
+
+TEST_P(NetworkCostModelTest, SnoopingOperationsAreUnsupported)
+{
+    const NetworkCostModel costs(GetParam());
+    for (Operation op : {Operation::WriteBroadcast,
+                         Operation::CleanMissCache,
+                         Operation::DirtyMissCache,
+                         Operation::CycleSteal}) {
+        EXPECT_FALSE(costs.supports(op)) << operationName(op);
+        EXPECT_THROW(costs.cost(op), std::invalid_argument)
+            << operationName(op);
+    }
+}
+
+TEST_P(NetworkCostModelTest, ChannelTimeNeverExceedsCpuTime)
+{
+    const NetworkCostModel costs(GetParam());
+    for (Operation op : kAllOperations) {
+        if (!costs.supports(op)) {
+            continue;
+        }
+        const OpCost cost = costs.cost(op);
+        EXPECT_LE(cost.channel, cost.cpu) << operationName(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, NetworkCostModelTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 10u));
+
+TEST(MachineParamsTest, DefaultsReproduceTable1)
+{
+    const BusCostModel derived = makeBusCostModel(MachineParams{});
+    const BusCostModel table1;
+    for (Operation op : kAllOperations) {
+        EXPECT_DOUBLE_EQ(derived.cost(op).cpu, table1.cost(op).cpu)
+            << operationName(op);
+        EXPECT_DOUBLE_EQ(derived.cost(op).channel,
+                         table1.cost(op).channel)
+            << operationName(op);
+    }
+}
+
+TEST(MachineParamsTest, DefaultsReproduceTable9)
+{
+    for (unsigned stages : {1u, 4u, 8u}) {
+        const NetworkCostModel derived =
+            makeNetworkCostModel(stages, MachineParams{});
+        const NetworkCostModel table9(stages);
+        for (Operation op : kAllOperations) {
+            ASSERT_EQ(derived.supports(op), table9.supports(op))
+                << operationName(op);
+            if (!derived.supports(op)) {
+                continue;
+            }
+            EXPECT_DOUBLE_EQ(derived.cost(op).cpu,
+                             table9.cost(op).cpu)
+                << operationName(op) << " n=" << stages;
+            EXPECT_DOUBLE_EQ(derived.cost(op).channel,
+                             table9.cost(op).channel)
+                << operationName(op) << " n=" << stages;
+        }
+    }
+}
+
+TEST(MachineParamsTest, LargerBlocksCostMoreBusTime)
+{
+    MachineParams big;
+    big.blockWords = 8;
+    const BusCostModel costs = makeBusCostModel(big);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::CleanMissMem).channel, 11.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::DirtyMissMem).channel, 19.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::DirtyFlush).channel, 8.0);
+    // Word-granularity operations are unaffected.
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::ReadThrough).channel, 4.0);
+}
+
+TEST(MachineParamsTest, SlowerMemoryStretchesEveryAccess)
+{
+    MachineParams slow;
+    slow.memoryCycles = 10;
+    const BusCostModel costs = makeBusCostModel(slow);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::CleanMissMem).channel, 15.0);
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::ReadThrough).channel, 12.0);
+    // Posted writes do not wait on memory.
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::WriteThrough).channel, 1.0);
+}
+
+TEST(MachineParamsTest, Validation)
+{
+    MachineParams bad;
+    bad.blockWords = 0;
+    EXPECT_THROW(makeBusCostModel(bad), std::invalid_argument);
+    bad = MachineParams{};
+    bad.memoryCycles = 0;
+    EXPECT_THROW(makeNetworkCostModel(4, bad), std::invalid_argument);
+}
+
+TEST(NetworkCostModelTest, SetCostMarksSupported)
+{
+    NetworkCostModel costs(4);
+    EXPECT_FALSE(costs.supports(Operation::WriteBroadcast));
+    costs.setCost(Operation::WriteBroadcast, {3.0, 2.0});
+    EXPECT_TRUE(costs.supports(Operation::WriteBroadcast));
+    EXPECT_DOUBLE_EQ(costs.cost(Operation::WriteBroadcast).cpu, 3.0);
+}
+
+TEST(NetworkCostModelTest, RejectsZeroStages)
+{
+    EXPECT_THROW(NetworkCostModel(0), std::invalid_argument);
+}
+
+TEST(NetworkCostModelTest, ReportsItsStageCount)
+{
+    EXPECT_EQ(NetworkCostModel(8).stages(), 8u);
+}
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the directory-scheme analytical model extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/directory_model.hh"
+#include "core/scheme_evaluator.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(DirectoryModelTest, ConfigValidation)
+{
+    DirectoryModelConfig config;
+    config.rerefFraction = 1.5;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    EXPECT_THROW(directoryFrequencies(middleParams(), config),
+                 std::invalid_argument);
+}
+
+TEST(DirectoryModelTest, NoSharingCollapsesToBase)
+{
+    WorkloadParams params = middleParams();
+    params.shd = 0.0;
+    const FrequencyVector dir = directoryFrequencies(params);
+    const FrequencyVector base =
+        operationFrequencies(Scheme::Base, params);
+    for (Operation op : kAllOperations) {
+        EXPECT_NEAR(dir.of(op), base.of(op), 1e-12)
+            << operationName(op);
+    }
+}
+
+TEST(DirectoryModelTest, FrequenciesDecompose)
+{
+    const WorkloadParams p = middleParams();
+    DirectoryModelConfig config;
+    config.rerefFraction = 0.5;
+    const FrequencyVector f = directoryFrequencies(p, config);
+
+    const double ownership = p.ls * p.shd * p.wr * p.opres;
+    EXPECT_DOUBLE_EQ(f.of(Operation::WriteThrough), ownership);
+
+    const double coherence = ownership * p.nshd * 0.5;
+    const double miss = p.ls * p.msdat + p.mains + coherence;
+    EXPECT_NEAR(f.totalMisses(), miss, 1e-12);
+
+    const double shared_miss = p.ls * p.msdat * p.shd + coherence;
+    EXPECT_NEAR(f.of(Operation::ReadThrough),
+                shared_miss * (1.0 - p.oclean), 1e-12);
+}
+
+TEST(DirectoryModelTest, RerefFractionAddsCoherenceMisses)
+{
+    const WorkloadParams params = middleParams();
+    DirectoryModelConfig optimistic;
+    optimistic.rerefFraction = 0.0;
+    DirectoryModelConfig pessimistic;
+    pessimistic.rerefFraction = 1.0;
+    EXPECT_LT(directoryFrequencies(params, optimistic).totalMisses(),
+              directoryFrequencies(params, pessimistic).totalMisses());
+}
+
+TEST(DirectoryModelTest, BeatsNoCacheOnTheNetwork)
+{
+    // Caching shared data with directory coherence should easily beat
+    // not caching it at all.
+    const WorkloadParams params = middleParams();
+    EXPECT_GT(evaluateDirectoryNetwork(params, 8).processingPower,
+              evaluateNetwork(Scheme::NoCache, params, 8)
+                  .processingPower);
+}
+
+TEST(DirectoryModelTest, LowRangeSoftwareFlushApproximatesDirectory)
+{
+    // Paper Section 6.3: "The performance of the Software-Flush scheme
+    // for the low range approximates the performance of hardware-based
+    // directory schemes."
+    const WorkloadParams params = paramsAtLevel(Level::Low);
+    const double swf =
+        evaluateNetwork(Scheme::SoftwareFlush, params, 8)
+            .processingPower;
+    const double directory =
+        evaluateDirectoryNetwork(params, 8).processingPower;
+    EXPECT_NEAR(swf, directory, 0.1 * directory);
+}
+
+TEST(DirectoryModelTest, DirectoryBeatsSoftwareFlushAtLowApl)
+{
+    // Software-Flush lives and dies by apl; the directory scheme does
+    // not depend on it at all. At apl = 2 (the ping-pong floor) the
+    // flush+refetch traffic sinks Software-Flush below the directory.
+    WorkloadParams params = middleParams();
+    params.apl = 2.0;
+    EXPECT_GT(evaluateDirectoryNetwork(params, 8).processingPower,
+              evaluateNetwork(Scheme::SoftwareFlush, params, 8)
+                  .processingPower);
+}
+
+TEST(DirectoryModelTest, DirectoryIsInsensitiveToApl)
+{
+    WorkloadParams a = middleParams();
+    WorkloadParams b = middleParams();
+    a.apl = 1.0;
+    b.apl = 1000.0;
+    EXPECT_DOUBLE_EQ(evaluateDirectoryNetwork(a, 8).processingPower,
+                     evaluateDirectoryNetwork(b, 8).processingPower);
+}
+
+TEST(DirectoryModelTest, SitsBetweenNoCacheAndBase)
+{
+    const WorkloadParams params = middleParams();
+    const double power =
+        evaluateDirectoryNetwork(params, 8).processingPower;
+    EXPECT_GT(power,
+              evaluateNetwork(Scheme::NoCache, params, 8)
+                  .processingPower);
+    EXPECT_LT(power,
+              evaluateNetwork(Scheme::Base, params, 8).processingPower);
+}
+
+TEST(DirectoryModelTest, ScalesWithProcessors)
+{
+    const WorkloadParams params = middleParams();
+    double prev = 0.0;
+    for (unsigned stages = 1; stages <= 9; ++stages) {
+        const double power =
+            evaluateDirectoryNetwork(params, stages).processingPower;
+        EXPECT_GT(power, prev);
+        prev = power;
+    }
+}
+
+} // namespace
+} // namespace swcc

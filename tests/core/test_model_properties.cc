@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cross-cutting property tests of the analytical model: monotonicity
+ * and scaling laws that must hold across the whole Table 7 parameter
+ * space, for every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/scheme_evaluator.hh"
+
+namespace swcc
+{
+namespace
+{
+
+double
+power(Scheme scheme, const WorkloadParams &params, unsigned cpus = 16)
+{
+    return evaluateBus(scheme, params, cpus).processingPower;
+}
+
+/**
+ * Direction of a parameter's effect: increasing any pure-cost
+ * parameter can never *increase* processing power, for any scheme it
+ * affects. (wr is excluded: it trades read-throughs for cheaper
+ * write-throughs in No-Cache.)
+ */
+class CostMonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<Scheme, ParamId>>
+{
+};
+
+TEST_P(CostMonotonicityTest, MorePressureNeverHelps)
+{
+    const auto [scheme, param] = GetParam();
+    WorkloadParams params = middleParams();
+    setParam(params, param, paramLevelValue(param, Level::Low));
+
+    double previous = power(scheme, params);
+    for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+        const double low = paramLevelValue(param, Level::Low);
+        const double high = paramLevelValue(param, Level::High);
+        setParam(params, param, low + fraction * (high - low));
+        const double current = power(scheme, params);
+        EXPECT_LE(current, previous + 1e-9)
+            << schemeName(scheme) << " " << paramName(param) << " at "
+            << fraction;
+        previous = current;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeParams, CostMonotonicityTest,
+    ::testing::Values(
+        std::tuple{Scheme::Base, ParamId::Msdat},
+        std::tuple{Scheme::Base, ParamId::Mains},
+        std::tuple{Scheme::Base, ParamId::Md},
+        std::tuple{Scheme::Base, ParamId::Ls},
+        std::tuple{Scheme::NoCache, ParamId::Msdat},
+        std::tuple{Scheme::NoCache, ParamId::Shd},
+        std::tuple{Scheme::NoCache, ParamId::Ls},
+        std::tuple{Scheme::SoftwareFlush, ParamId::Msdat},
+        std::tuple{Scheme::SoftwareFlush, ParamId::Shd},
+        std::tuple{Scheme::SoftwareFlush, ParamId::InvApl},
+        std::tuple{Scheme::SoftwareFlush, ParamId::Mdshd},
+        std::tuple{Scheme::SoftwareFlush, ParamId::Ls},
+        std::tuple{Scheme::Dragon, ParamId::Msdat},
+        std::tuple{Scheme::Dragon, ParamId::Shd},
+        std::tuple{Scheme::Dragon, ParamId::Nshd},
+        std::tuple{Scheme::Dragon, ParamId::Opres}));
+
+/** Base dominates every scheme at every Table 7 corner. */
+class DominanceTest : public ::testing::TestWithParam<Level>
+{
+};
+
+TEST_P(DominanceTest, BaseIsAnUpperBoundEverywhere)
+{
+    const WorkloadParams params = paramsAtLevel(GetParam());
+    const double base = power(Scheme::Base, params);
+    for (Scheme scheme : {Scheme::NoCache, Scheme::SoftwareFlush,
+                          Scheme::Dragon}) {
+        EXPECT_LE(power(scheme, params), base + 1e-9)
+            << schemeName(scheme) << " at " << levelName(GetParam());
+    }
+}
+
+TEST_P(DominanceTest, BusAndNetworkAgreeOnSchemeOrdering)
+{
+    // At 256 processors the software-scheme ranking (Base >= SF >=
+    // NoCache at a medium apl) holds on both media. At apl = 1
+    // Software-Flush legitimately falls below No-Cache (paper Fig. 7),
+    // so apl stays pinned at its middle value here.
+    WorkloadParams params = paramsAtLevel(GetParam());
+    setParam(params, ParamId::InvApl,
+             paramLevelValue(ParamId::InvApl, Level::Middle));
+    params.nshd = 1.0; // High nshd only affects Dragon, not used here.
+    const auto net = [&params](Scheme scheme) {
+        return evaluateNetwork(scheme, params, 8).processingPower;
+    };
+    EXPECT_GE(net(Scheme::Base), net(Scheme::SoftwareFlush) - 1e-9);
+    EXPECT_GE(net(Scheme::SoftwareFlush), net(Scheme::NoCache) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DominanceTest,
+                         ::testing::ValuesIn(kAllLevels));
+
+TEST(ScalingTest, PowerPerProcessorNeverImproves)
+{
+    // Marginal utility of processors is non-increasing on a bus.
+    const WorkloadParams params = middleParams();
+    for (Scheme scheme : kAllSchemes) {
+        double prev_util = 1.0;
+        for (unsigned n = 1; n <= 32; n *= 2) {
+            const double util =
+                evaluateBus(scheme, params, n).processorUtilization;
+            EXPECT_LE(util, prev_util + 1e-12) << schemeName(scheme);
+            prev_util = util;
+        }
+    }
+}
+
+TEST(ScalingTest, FrequenciesAreLinearInLsAtFixedMix)
+{
+    // Every ls-proportional term doubles when ls doubles (Base has
+    // only the data-miss term plus the constant mains).
+    WorkloadParams params = middleParams();
+    params.ls = 0.15;
+    const FrequencyVector f1 =
+        operationFrequencies(Scheme::NoCache, params);
+    params.ls = 0.30;
+    const FrequencyVector f2 =
+        operationFrequencies(Scheme::NoCache, params);
+    EXPECT_NEAR(f2.of(Operation::ReadThrough),
+                2.0 * f1.of(Operation::ReadThrough), 1e-12);
+    EXPECT_NEAR(f2.of(Operation::WriteThrough),
+                2.0 * f1.of(Operation::WriteThrough), 1e-12);
+}
+
+TEST(ScalingTest, ExecutionTimeDecomposesAsCpuPlusWaiting)
+{
+    for (Scheme scheme : kAllSchemes) {
+        for (Level level : kAllLevels) {
+            const BusSolution sol =
+                evaluateBus(scheme, paramsAtLevel(level), 12);
+            EXPECT_NEAR(1.0 / sol.processorUtilization,
+                        sol.cpu + sol.waiting, 1e-9)
+                << schemeName(scheme);
+            EXPECT_NEAR(sol.processingPower,
+                        12.0 * sol.processorUtilization, 1e-9);
+        }
+    }
+}
+
+TEST(ConsistencyTest, SaturationBoundsAreNeverViolatedOnTheGrid)
+{
+    for (Scheme scheme : kAllSchemes) {
+        for (Level level : kAllLevels) {
+            const WorkloadParams params = paramsAtLevel(level);
+            const PerInstructionCost cost = perInstructionCost(
+                operationFrequencies(scheme, params), BusCostModel());
+            for (unsigned n : {1u, 4u, 16u, 64u}) {
+                const double p = power(scheme, params, n);
+                EXPECT_LE(p, busSaturationPower(cost) + 1e-9)
+                    << schemeName(scheme);
+                EXPECT_LE(p, n / cost.cpu + 1e-9) << schemeName(scheme);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace swcc

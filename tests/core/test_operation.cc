@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the operation enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/operation.hh"
+#include "core/types.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(OperationTest, AllOperationsListsEveryEnumeratorOnce)
+{
+    std::set<Operation> seen(kAllOperations.begin(), kAllOperations.end());
+    EXPECT_EQ(seen.size(), kNumOperations);
+}
+
+TEST(OperationTest, IndicesAreDenseAndStable)
+{
+    for (std::size_t i = 0; i < kAllOperations.size(); ++i) {
+        EXPECT_EQ(operationIndex(kAllOperations[i]), i);
+    }
+}
+
+TEST(OperationTest, NamesMatchPaperTable1)
+{
+    EXPECT_EQ(operationName(Operation::InstrExec),
+              "Instruction execution");
+    EXPECT_EQ(operationName(Operation::CleanMissMem), "Clean miss (mem)");
+    EXPECT_EQ(operationName(Operation::DirtyMissMem), "Dirty miss (mem)");
+    EXPECT_EQ(operationName(Operation::ReadThrough), "Read through");
+    EXPECT_EQ(operationName(Operation::WriteThrough), "Write through");
+    EXPECT_EQ(operationName(Operation::CleanFlush), "Clean flush");
+    EXPECT_EQ(operationName(Operation::DirtyFlush), "Dirty flush");
+    EXPECT_EQ(operationName(Operation::WriteBroadcast), "Write broadcast");
+    EXPECT_EQ(operationName(Operation::CleanMissCache),
+              "Clean miss (cache)");
+    EXPECT_EQ(operationName(Operation::DirtyMissCache),
+              "Dirty miss (cache)");
+    EXPECT_EQ(operationName(Operation::CycleSteal), "Cycle stealing");
+}
+
+TEST(OperationTest, NamesAreUnique)
+{
+    std::set<std::string_view> names;
+    for (Operation op : kAllOperations) {
+        names.insert(operationName(op));
+    }
+    EXPECT_EQ(names.size(), kNumOperations);
+}
+
+TEST(SchemeTest, NamesMatchPaper)
+{
+    EXPECT_EQ(schemeName(Scheme::Base), "Base");
+    EXPECT_EQ(schemeName(Scheme::NoCache), "No-Cache");
+    EXPECT_EQ(schemeName(Scheme::SoftwareFlush), "Software-Flush");
+    EXPECT_EQ(schemeName(Scheme::Dragon), "Dragon");
+}
+
+TEST(SchemeTest, OnlySnoopySchemeNeedsABus)
+{
+    EXPECT_TRUE(schemeWorksOnNetwork(Scheme::Base));
+    EXPECT_TRUE(schemeWorksOnNetwork(Scheme::NoCache));
+    EXPECT_TRUE(schemeWorksOnNetwork(Scheme::SoftwareFlush));
+    EXPECT_FALSE(schemeWorksOnNetwork(Scheme::Dragon));
+}
+
+TEST(SchemeTest, AllSchemesListsEveryEnumeratorOnce)
+{
+    std::set<Scheme> seen(kAllSchemes.begin(), kAllSchemes.end());
+    EXPECT_EQ(seen.size(), kNumSchemes);
+}
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the buffered packet-switched network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/packet_network_model.hh"
+#include "core/scheme_evaluator.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(KruskalSnirTest, ClosedForm)
+{
+    EXPECT_DOUBLE_EQ(kruskalSnirWait(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(kruskalSnirWait(0.5), 0.25);
+    EXPECT_DOUBLE_EQ(kruskalSnirWait(0.8), 1.0);
+    EXPECT_THROW(kruskalSnirWait(1.0), std::invalid_argument);
+    EXPECT_THROW(kruskalSnirWait(-0.1), std::invalid_argument);
+}
+
+TEST(PacketTrafficModelTest, DefaultShapesMatchTable9Payloads)
+{
+    const PacketTrafficModel traffic;
+    EXPECT_DOUBLE_EQ(traffic.shape(Operation::CleanMissMem).requestWords,
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        traffic.shape(Operation::CleanMissMem).responseWords, 4.0);
+    EXPECT_DOUBLE_EQ(traffic.shape(Operation::DirtyMissMem).requestWords,
+                     6.0);
+    EXPECT_DOUBLE_EQ(traffic.shape(Operation::ReadThrough).responseWords,
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        traffic.shape(Operation::WriteThrough).responseWords, 0.0);
+    EXPECT_DOUBLE_EQ(traffic.shape(Operation::DirtyFlush).requestWords,
+                     5.0);
+}
+
+TEST(PacketTrafficModelTest, SnoopingOperationsUnsupported)
+{
+    const PacketTrafficModel traffic;
+    for (Operation op : {Operation::WriteBroadcast,
+                         Operation::CleanMissCache,
+                         Operation::DirtyMissCache,
+                         Operation::CycleSteal}) {
+        EXPECT_FALSE(traffic.supports(op)) << operationName(op);
+        EXPECT_THROW(traffic.shape(op), std::invalid_argument);
+    }
+}
+
+TEST(PacketTrafficModelTest, SetShapeOverrides)
+{
+    PacketTrafficModel traffic;
+    traffic.setShape(Operation::ReadThrough, {2.0, 2.0});
+    EXPECT_DOUBLE_EQ(traffic.shape(Operation::ReadThrough).requestWords,
+                     2.0);
+    EXPECT_THROW(traffic.setShape(Operation::ReadThrough, {-1.0, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(RawPacketPointTest, UncontendedLatencyIsClosedForm)
+{
+    // Huge think time: latency -> 2n + mem + (req-1) + (resp-1).
+    const RawPacketSolution sol =
+        solveRawPacketPoint(1e7, 1.0, 4.0, 6, 2.0);
+    EXPECT_NEAR(sol.latency, 12.0 + 2.0 + 0.0 + 3.0, 1e-3);
+    EXPECT_NEAR(sol.computeFraction, 1.0, 1e-4);
+}
+
+TEST(RawPacketPointTest, PostedTransactionsOnlySerialise)
+{
+    const RawPacketSolution sol =
+        solveRawPacketPoint(50.0, 5.0, 0.0, 6, 2.0);
+    EXPECT_NEAR(sol.latency, 5.0, 1e-9);
+    EXPECT_NEAR(sol.cyclesPerTransaction, 55.0, 1e-9);
+}
+
+TEST(RawPacketPointTest, SatisfiesTheFixedPointEquation)
+{
+    const RawPacketSolution sol =
+        solveRawPacketPoint(20.0, 1.0, 4.0, 8, 2.0);
+    const double wait = kruskalSnirWait(sol.linkLoad);
+    const double latency = 16.0 * (1.0 + wait) + 2.0 + 3.0;
+    EXPECT_NEAR(sol.cyclesPerTransaction, 20.0 + latency, 1e-6);
+    EXPECT_LT(sol.linkLoad, 1.0);
+}
+
+TEST(RawPacketPointTest, LoadRisesAsThinkFalls)
+{
+    double prev_load = 0.0;
+    for (double think : {200.0, 50.0, 20.0, 10.0, 5.0}) {
+        const RawPacketSolution sol =
+            solveRawPacketPoint(think, 1.0, 4.0, 6);
+        EXPECT_GT(sol.linkLoad, prev_load);
+        EXPECT_LT(sol.linkLoad, 1.0);
+        prev_load = sol.linkLoad;
+    }
+}
+
+TEST(RawPacketPointTest, NeverSaturatesPastUnitLoad)
+{
+    // Even with zero think time the fixed point stays stable: the
+    // sources self-throttle on latency.
+    const RawPacketSolution sol =
+        solveRawPacketPoint(0.0, 1.0, 8.0, 4);
+    EXPECT_LT(sol.linkLoad, 1.0);
+    // The latency floor (2n + mem + words - 1 = 17 cycles for 8
+    // return words) caps the load near 8/17.
+    EXPECT_GT(sol.linkLoad, 0.40);
+    EXPECT_NEAR(sol.computeFraction, 0.0, 1e-12);
+}
+
+TEST(RawPacketPointTest, RejectsBadArguments)
+{
+    EXPECT_THROW(solveRawPacketPoint(10.0, 0.5, 4.0, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(solveRawPacketPoint(-1.0, 1.0, 4.0, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(solveRawPacketPoint(10.0, 1.0, -1.0, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(solveRawPacketPoint(10.0, 1.0, 4.0, 0),
+                 std::invalid_argument);
+}
+
+TEST(PacketSchemeTest, RejectsDragonAndZeroStages)
+{
+    EXPECT_THROW(solvePacketNetwork(Scheme::Dragon, middleParams(), 4),
+                 std::invalid_argument);
+    EXPECT_THROW(solvePacketNetwork(Scheme::Base, middleParams(), 0),
+                 std::invalid_argument);
+}
+
+TEST(PacketSchemeTest, NoTrafficDegeneratesToLocalCpu)
+{
+    WorkloadParams params = middleParams();
+    params.ls = 0.0;
+    params.msdat = 0.0;
+    params.mains = 0.0;
+    const PacketNetworkSolution sol =
+        solvePacketNetwork(Scheme::Base, params, 6);
+    EXPECT_DOUBLE_EQ(sol.cyclesPerInstruction, 1.0);
+    EXPECT_DOUBLE_EQ(sol.processingPower, 64.0);
+}
+
+TEST(PacketSchemeTest, PacketSwitchingFavoursNoCacheMost)
+{
+    // The paper's conjecture: "Use of packet-switching would be more
+    // favorable to No-Cache." Measure the packet/circuit speedup per
+    // scheme; No-Cache should gain the most, Base the least.
+    const WorkloadParams params = middleParams();
+    auto speedup = [&params](Scheme scheme) {
+        const double circuit =
+            evaluateNetwork(scheme, params, 8).processingPower;
+        const double packet =
+            solvePacketNetwork(scheme, params, 8).processingPower;
+        return packet / circuit;
+    };
+    const double base = speedup(Scheme::Base);
+    const double swf = speedup(Scheme::SoftwareFlush);
+    const double nocache = speedup(Scheme::NoCache);
+    EXPECT_GT(nocache, swf);
+    EXPECT_GT(swf, base);
+    EXPECT_GT(nocache, 1.5);
+}
+
+TEST(PacketSchemeTest, SoftwareFlushStillBeatsNoCache)
+{
+    const WorkloadParams params = middleParams();
+    EXPECT_GT(
+        solvePacketNetwork(Scheme::SoftwareFlush, params, 8)
+            .processingPower,
+        solvePacketNetwork(Scheme::NoCache, params, 8).processingPower);
+}
+
+TEST(PacketSchemeTest, SolutionFieldsAreConsistent)
+{
+    const PacketNetworkSolution sol =
+        solvePacketNetwork(Scheme::SoftwareFlush, middleParams(), 6);
+    EXPECT_EQ(sol.processors, 64u);
+    EXPECT_NEAR(sol.cyclesPerInstruction,
+                sol.cpuPerInstruction + sol.networkStall, 1e-9);
+    EXPECT_NEAR(sol.linkLoad,
+                sol.wordsPerInstruction / sol.cyclesPerInstruction,
+                1e-9);
+    EXPECT_NEAR(sol.processingPower,
+                64.0 * sol.processorUtilization, 1e-9);
+    EXPECT_GE(sol.networkStall, 0.0);
+}
+
+} // namespace
+} // namespace swcc

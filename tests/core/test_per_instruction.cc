@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for per-instruction cost aggregation (Equations 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/per_instruction.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(PerInstructionTest, ZeroActivityCostsOneCpuCycle)
+{
+    WorkloadParams p = middleParams();
+    p.msdat = 0.0;
+    p.mains = 0.0;
+    p.ls = 0.0;
+    const BusCostModel costs;
+    const PerInstructionCost cost = perInstructionCost(
+        operationFrequencies(Scheme::Base, p), costs);
+    EXPECT_DOUBLE_EQ(cost.cpu, 1.0);
+    EXPECT_DOUBLE_EQ(cost.channel, 0.0);
+    EXPECT_DOUBLE_EQ(cost.thinkTime(), 1.0);
+}
+
+TEST(PerInstructionTest, BaseHandComputed)
+{
+    WorkloadParams p = middleParams();
+    p.ls = 0.3;
+    p.msdat = 0.01;
+    p.mains = 0.002;
+    p.md = 0.2;
+    const BusCostModel costs;
+    const PerInstructionCost cost = perInstructionCost(
+        operationFrequencies(Scheme::Base, p), costs);
+
+    const double miss = 0.3 * 0.01 + 0.002; // 0.005
+    const double expected_cpu = 1.0 + miss * 0.8 * 10 + miss * 0.2 * 14;
+    const double expected_bus = miss * 0.8 * 7 + miss * 0.2 * 11;
+    EXPECT_NEAR(cost.cpu, expected_cpu, 1e-12);
+    EXPECT_NEAR(cost.channel, expected_bus, 1e-12);
+}
+
+TEST(PerInstructionTest, NoCacheHandComputed)
+{
+    WorkloadParams p = middleParams();
+    p.ls = 0.4;
+    p.shd = 0.5;
+    p.wr = 0.25;
+    p.msdat = 0.0;
+    p.mains = 0.0;
+    const BusCostModel costs;
+    const PerInstructionCost cost = perInstructionCost(
+        operationFrequencies(Scheme::NoCache, p), costs);
+
+    // 0.4*0.5 = 0.2 shared refs: 0.15 read-through (5/4), 0.05
+    // write-through (2/1).
+    EXPECT_NEAR(cost.cpu, 1.0 + 0.15 * 5 + 0.05 * 2, 1e-12);
+    EXPECT_NEAR(cost.channel, 0.15 * 4 + 0.05 * 1, 1e-12);
+}
+
+TEST(PerInstructionTest, CpuAlwaysCoversChannel)
+{
+    const BusCostModel costs;
+    for (Scheme scheme : kAllSchemes) {
+        for (Level level : kAllLevels) {
+            const PerInstructionCost cost = perInstructionCost(
+                operationFrequencies(scheme, paramsAtLevel(level)),
+                costs);
+            EXPECT_GE(cost.cpu, 1.0) << schemeName(scheme);
+            EXPECT_GE(cost.thinkTime(), 1.0) << schemeName(scheme);
+            EXPECT_GE(cost.channel, 0.0) << schemeName(scheme);
+        }
+    }
+}
+
+TEST(PerInstructionTest, DragonOnNetworkIsRejected)
+{
+    const NetworkCostModel costs(4);
+    const FrequencyVector freqs =
+        operationFrequencies(Scheme::Dragon, middleParams());
+    EXPECT_THROW(perInstructionCost(freqs, costs), std::invalid_argument);
+}
+
+TEST(PerInstructionTest, SoftwareSchemesWorkOnNetwork)
+{
+    const NetworkCostModel costs(4);
+    for (Scheme scheme : {Scheme::Base, Scheme::NoCache,
+                          Scheme::SoftwareFlush}) {
+        EXPECT_NO_THROW(perInstructionCost(
+            operationFrequencies(scheme, middleParams()), costs))
+            << schemeName(scheme);
+    }
+}
+
+TEST(PerInstructionTest, NetworkCostsGrowWithStages)
+{
+    const FrequencyVector freqs =
+        operationFrequencies(Scheme::SoftwareFlush, middleParams());
+    double prev_cpu = 0.0;
+    for (unsigned stages : {1u, 2u, 4u, 8u}) {
+        const NetworkCostModel costs(stages);
+        const PerInstructionCost cost = perInstructionCost(freqs, costs);
+        EXPECT_GT(cost.cpu, prev_cpu);
+        prev_cpu = cost.cpu;
+    }
+}
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "12345"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("12345"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTableTest, CsvOutput)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, RejectsMismatchedRows)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(FormatNumberTest, TrimsTrailingZeros)
+{
+    EXPECT_EQ(formatNumber(3.14), "3.14");
+    EXPECT_EQ(formatNumber(5.0), "5");
+    EXPECT_EQ(formatNumber(0.5), "0.5");
+    EXPECT_EQ(formatNumber(2.6, 0), "3");
+    EXPECT_EQ(formatNumber(-0.0001, 2), "0");
+    EXPECT_EQ(formatNumber(1234.5678, 2), "1234.57");
+}
+
+TEST(ExportCsvTest, WritesTheFileAndReturnsItsPath)
+{
+    TextTable table({"x", "y"});
+    table.addRow({"1", "2"});
+    const std::string dir = ::testing::TempDir() + "/swcc_csv_test";
+    const std::string path = exportCsv(table, "sample", dir);
+    EXPECT_EQ(path, dir + "/sample.csv");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ExportCsvTest, UnwritableDirectoryThrows)
+{
+    TextTable table({"x"});
+    EXPECT_THROW(exportCsv(table, "nope", "/proc/definitely/not/here"),
+                 std::exception);
+}
+
+TEST(AsciiChartTest, RendersMarkersAndLegend)
+{
+    Series a;
+    a.label = "Dragon";
+    a.points = {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+    Series b;
+    b.label = "No-Cache";
+    b.points = {{1.0, 0.5}, {2.0, 0.7}, {3.0, 0.8}};
+
+    AsciiChart chart(40, 10);
+    chart.addSeries(a);
+    chart.addSeries(b);
+    chart.setAxisTitles("processors", "power");
+    std::ostringstream os;
+    chart.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find('D'), std::string::npos);
+    EXPECT_NE(text.find('N'), std::string::npos);
+    EXPECT_NE(text.find("legend:"), std::string::npos);
+    EXPECT_NE(text.find("processors"), std::string::npos);
+    EXPECT_NE(text.find("power"), std::string::npos);
+}
+
+TEST(AsciiChartTest, DisambiguatesCollidingMarkers)
+{
+    Series a;
+    a.label = "Base";
+    a.points = {{0.0, 1.0}};
+    Series b;
+    b.label = "Base-variant";
+    b.points = {{0.0, 2.0}};
+    AsciiChart chart;
+    chart.addSeries(a);
+    chart.addSeries(b);
+    std::ostringstream os;
+    chart.print(os);
+    // The second series falls back to a digit marker.
+    EXPECT_NE(os.str().find("2 = Base-variant"), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyChartDoesNotCrash)
+{
+    AsciiChart chart;
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_EQ(os.str(), "(empty chart)\n");
+}
+
+TEST(AsciiChartTest, HonoursExplicitYRange)
+{
+    Series a;
+    a.label = "s";
+    a.points = {{0.0, 5.0}, {1.0, 15.0}};
+    AsciiChart chart(32, 8);
+    chart.addSeries(a);
+    chart.setYRange(0.0, 10.0);
+    std::ostringstream os;
+    chart.print(os);
+    // The out-of-range point is clipped, the in-range one drawn.
+    EXPECT_NE(os.str().find('s'), std::string::npos);
+    EXPECT_THROW(chart.setYRange(1.0, 1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace swcc

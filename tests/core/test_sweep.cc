@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the sweep utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(LinspaceTest, EndpointsAndSpacing)
+{
+    const auto values = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(values.size(), 5u);
+    EXPECT_DOUBLE_EQ(values.front(), 0.0);
+    EXPECT_DOUBLE_EQ(values.back(), 1.0);
+    EXPECT_DOUBLE_EQ(values[2], 0.5);
+}
+
+TEST(LinspaceTest, DegenerateCounts)
+{
+    EXPECT_TRUE(linspace(0.0, 1.0, 0).empty());
+    const auto one = linspace(3.0, 9.0, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one.front(), 3.0);
+}
+
+TEST(LogspaceTest, GeometricSpacing)
+{
+    const auto values = logspace(1.0, 100.0, 3);
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_NEAR(values[0], 1.0, 1e-9);
+    EXPECT_NEAR(values[1], 10.0, 1e-9);
+    EXPECT_NEAR(values[2], 100.0, 1e-9);
+}
+
+TEST(LogspaceTest, RejectsNonPositiveBounds)
+{
+    EXPECT_THROW(logspace(0.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(logspace(1.0, -2.0, 4), std::invalid_argument);
+}
+
+TEST(SeriesTest, MaxAndFinalY)
+{
+    Series series;
+    series.points = {{1.0, 2.0}, {2.0, 5.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(series.maxY(), 5.0);
+    EXPECT_DOUBLE_EQ(series.finalY(), 4.0);
+    EXPECT_DOUBLE_EQ(Series{}.maxY(), 0.0);
+    EXPECT_DOUBLE_EQ(Series{}.finalY(), 0.0);
+}
+
+TEST(BusPowerSeriesTest, LabelsAndXAxis)
+{
+    const Series series =
+        busPowerSeries(Scheme::Dragon, middleParams(), 8);
+    EXPECT_EQ(series.label, "Dragon");
+    ASSERT_EQ(series.points.size(), 8u);
+    EXPECT_DOUBLE_EQ(series.points.front().x, 1.0);
+    EXPECT_DOUBLE_EQ(series.points.back().x, 8.0);
+    EXPECT_GT(series.points.back().y, series.points.front().y);
+}
+
+TEST(IdealPowerSeriesTest, IsTheDiagonal)
+{
+    const Series ideal = idealPowerSeries(4);
+    ASSERT_EQ(ideal.points.size(), 4u);
+    for (const SeriesPoint &p : ideal.points) {
+        EXPECT_DOUBLE_EQ(p.x, p.y);
+    }
+}
+
+TEST(AplPowerSeriesTest, PowerGrowsWithApl)
+{
+    const std::vector<double> apls = {1.0, 2.0, 4.0, 8.0, 32.0, 128.0};
+    const Series series = aplPowerSeries(Scheme::SoftwareFlush,
+                                         middleParams(), apls, 8);
+    ASSERT_EQ(series.points.size(), apls.size());
+    for (std::size_t i = 1; i < series.points.size(); ++i) {
+        EXPECT_GT(series.points[i].y, series.points[i - 1].y);
+    }
+}
+
+TEST(NetworkPowerSeriesTest, ScalesThroughStages)
+{
+    const Series series =
+        networkPowerSeries(Scheme::SoftwareFlush, middleParams(), 6);
+    ASSERT_EQ(series.points.size(), 6u);
+    EXPECT_DOUBLE_EQ(series.points.front().x, 2.0);
+    EXPECT_DOUBLE_EQ(series.points.back().x, 64.0);
+}
+
+TEST(NetworkUtilizationSeriesTest, FallsWithRequestRate)
+{
+    const Series series = networkUtilizationSeries(
+        8, 4.0, {0.001, 0.005, 0.01, 0.02, 0.04});
+    ASSERT_EQ(series.points.size(), 5u);
+    for (std::size_t i = 1; i < series.points.size(); ++i) {
+        EXPECT_LT(series.points[i].y, series.points[i - 1].y);
+    }
+}
+
+TEST(NetworkUtilizationSeriesTest, SkipsNonPositiveRates)
+{
+    const Series series =
+        networkUtilizationSeries(4, 4.0, {0.0, 0.01});
+    EXPECT_EQ(series.points.size(), 1u);
+}
+
+} // namespace
+} // namespace swcc

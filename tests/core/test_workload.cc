@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for workload parameters and their Table 7 ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/workload.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(WorkloadParamsTest, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(WorkloadParams{}.validate());
+}
+
+TEST(WorkloadParamsTest, RejectsOutOfRangeProbabilities)
+{
+    WorkloadParams params;
+    params.ls = 1.5;
+    EXPECT_THROW(params.validate(), std::invalid_argument);
+
+    params = WorkloadParams{};
+    params.shd = -0.1;
+    EXPECT_THROW(params.validate(), std::invalid_argument);
+
+    params = WorkloadParams{};
+    params.oclean = 2.0;
+    EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadParamsTest, RejectsAplBelowOne)
+{
+    WorkloadParams params;
+    params.apl = 0.5;
+    EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadParamsTest, RejectsNegativeNshd)
+{
+    WorkloadParams params;
+    params.nshd = -1.0;
+    EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(ParamIdTest, GetSetRoundTripsEveryParameter)
+{
+    for (ParamId id : kAllParams) {
+        WorkloadParams params = middleParams();
+        const double value = getParam(params, id);
+        setParam(params, id, value);
+        EXPECT_NEAR(getParam(params, id), value, 1e-12)
+            << paramName(id);
+    }
+}
+
+TEST(ParamIdTest, InvAplMapsToApl)
+{
+    WorkloadParams params;
+    setParam(params, ParamId::InvApl, 0.25);
+    EXPECT_DOUBLE_EQ(params.apl, 4.0);
+    EXPECT_DOUBLE_EQ(getParam(params, ParamId::InvApl), 0.25);
+}
+
+TEST(ParamIdTest, InvAplRejectsNonPositive)
+{
+    WorkloadParams params;
+    EXPECT_THROW(setParam(params, ParamId::InvApl, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(ParamIdTest, NamesAreThePaperNotation)
+{
+    EXPECT_EQ(paramName(ParamId::Ls), "ls");
+    EXPECT_EQ(paramName(ParamId::Msdat), "msdat");
+    EXPECT_EQ(paramName(ParamId::Mains), "mains");
+    EXPECT_EQ(paramName(ParamId::Md), "md");
+    EXPECT_EQ(paramName(ParamId::Shd), "shd");
+    EXPECT_EQ(paramName(ParamId::Wr), "wr");
+    EXPECT_EQ(paramName(ParamId::InvApl), "1/apl");
+    EXPECT_EQ(paramName(ParamId::Mdshd), "mdshd");
+    EXPECT_EQ(paramName(ParamId::Oclean), "oclean");
+    EXPECT_EQ(paramName(ParamId::Opres), "opres");
+    EXPECT_EQ(paramName(ParamId::Nshd), "nshd");
+}
+
+TEST(ParamRangeTest, MatchesPaperTable7)
+{
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Ls, Level::Low), 0.2);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Ls, Level::Middle), 0.3);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Ls, Level::High), 0.4);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Msdat, Level::Low), 0.004);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Msdat, Level::Middle),
+                     0.014);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Msdat, Level::High), 0.024);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Mains, Level::Low), 0.0014);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Mains, Level::Middle),
+                     0.0022);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Mains, Level::High),
+                     0.0034);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Md, Level::Low), 0.14);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Md, Level::Middle), 0.20);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Md, Level::High), 0.50);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Shd, Level::Low), 0.08);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Shd, Level::Middle), 0.25);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Shd, Level::High), 0.42);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Wr, Level::Low), 0.10);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Wr, Level::Middle), 0.25);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Wr, Level::High), 0.40);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::InvApl, Level::Low), 0.04);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::InvApl, Level::Middle),
+                     0.13);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::InvApl, Level::High), 1.0);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Mdshd, Level::Low), 0.0);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Mdshd, Level::Middle),
+                     0.25);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Mdshd, Level::High), 0.5);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Oclean, Level::Low), 0.60);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Oclean, Level::Middle),
+                     0.84);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Oclean, Level::High),
+                     0.976);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Opres, Level::Low), 0.63);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Opres, Level::Middle),
+                     0.79);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Opres, Level::High), 0.94);
+
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Nshd, Level::Low), 1.0);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Nshd, Level::Middle), 1.0);
+    EXPECT_DOUBLE_EQ(paramLevelValue(ParamId::Nshd, Level::High), 7.0);
+}
+
+/** Every level of every parameter yields a valid parameter set. */
+class ParamLevelTest : public ::testing::TestWithParam<Level>
+{
+};
+
+TEST_P(ParamLevelTest, ParamsAtLevelAreValid)
+{
+    const WorkloadParams params = paramsAtLevel(GetParam());
+    EXPECT_NO_THROW(params.validate());
+}
+
+TEST_P(ParamLevelTest, SingleParameterExcursionsStayValid)
+{
+    for (ParamId id : kAllParams) {
+        WorkloadParams params = middleParams();
+        setParam(params, id, paramLevelValue(id, GetParam()));
+        EXPECT_NO_THROW(params.validate()) << paramName(id);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ParamLevelTest,
+                         ::testing::Values(Level::Low, Level::Middle,
+                                           Level::High));
+
+TEST(ScenarioTest, MiddleParamsMatchTable7Middles)
+{
+    const WorkloadParams params = middleParams();
+    EXPECT_DOUBLE_EQ(params.ls, 0.3);
+    EXPECT_DOUBLE_EQ(params.msdat, 0.014);
+    EXPECT_DOUBLE_EQ(params.shd, 0.25);
+    EXPECT_NEAR(params.apl, 1.0 / 0.13, 1e-9);
+}
+
+TEST(ScenarioTest, SharingScenarioOnlyMovesLsAndShd)
+{
+    const WorkloadParams mid = middleParams();
+    const WorkloadParams high = sharingScenario(Level::High);
+    EXPECT_DOUBLE_EQ(high.ls, 0.4);
+    EXPECT_DOUBLE_EQ(high.shd, 0.42);
+    EXPECT_DOUBLE_EQ(high.msdat, mid.msdat);
+    EXPECT_DOUBLE_EQ(high.wr, mid.wr);
+    EXPECT_DOUBLE_EQ(high.apl, mid.apl);
+}
+
+TEST(ScenarioTest, LevelNames)
+{
+    EXPECT_EQ(levelName(Level::Low), "low");
+    EXPECT_EQ(levelName(Level::Middle), "middle");
+    EXPECT_EQ(levelName(Level::High), "high");
+}
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the cycle-level bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bus/bus.hh"
+
+namespace swcc
+{
+namespace
+{
+
+TEST(BusTest, ImmediateGrantWhenIdle)
+{
+    Bus bus;
+    const Bus::Grant grant = bus.acquire(10.0, 4.0);
+    EXPECT_DOUBLE_EQ(grant.start, 10.0);
+    EXPECT_DOUBLE_EQ(grant.waited, 0.0);
+    EXPECT_DOUBLE_EQ(bus.freeAt(), 14.0);
+}
+
+TEST(BusTest, BackToBackRequestsQueueFcfs)
+{
+    Bus bus;
+    bus.acquire(0.0, 7.0);
+    const Bus::Grant second = bus.acquire(3.0, 4.0);
+    EXPECT_DOUBLE_EQ(second.start, 7.0);
+    EXPECT_DOUBLE_EQ(second.waited, 4.0);
+    const Bus::Grant third = bus.acquire(20.0, 1.0);
+    EXPECT_DOUBLE_EQ(third.start, 20.0);
+    EXPECT_DOUBLE_EQ(third.waited, 0.0);
+}
+
+TEST(BusTest, StatisticsAccumulate)
+{
+    Bus bus;
+    bus.acquire(0.0, 7.0);
+    bus.acquire(0.0, 11.0);
+    EXPECT_DOUBLE_EQ(bus.busyCycles(), 18.0);
+    EXPECT_DOUBLE_EQ(bus.totalWaited(), 7.0);
+    EXPECT_EQ(bus.transactions(), 2u);
+}
+
+TEST(BusTest, ResetClearsEverything)
+{
+    Bus bus;
+    bus.acquire(5.0, 3.0);
+    bus.reset();
+    EXPECT_DOUBLE_EQ(bus.freeAt(), 0.0);
+    EXPECT_DOUBLE_EQ(bus.busyCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(bus.totalWaited(), 0.0);
+    EXPECT_EQ(bus.transactions(), 0u);
+}
+
+TEST(BusTest, RejectsNonPositiveDurations)
+{
+    Bus bus;
+    EXPECT_THROW(bus.acquire(0.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(bus.acquire(0.0, -1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace swcc

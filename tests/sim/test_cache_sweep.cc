@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Property tests for the cache structure: every geometry must agree
+ * with a reference (oracle) model of per-set LRU behaviour under
+ * random reference strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <tuple>
+#include <unordered_map>
+
+#include "sim/cache/cache.hh"
+#include "sim/synth/rng.hh"
+
+namespace swcc
+{
+namespace
+{
+
+/**
+ * Oracle: per-set LRU lists built from first principles (a list per
+ * set, most recent at the front, capacity = associativity).
+ */
+class ReferenceCache
+{
+  public:
+    explicit ReferenceCache(const CacheConfig &config) : config_(config)
+    {
+    }
+
+    /** Returns true on hit; updates LRU state either way. */
+    bool
+    access(Addr addr)
+    {
+        const Addr block =
+            addr & ~static_cast<Addr>(config_.blockBytes - 1);
+        const std::size_t set = static_cast<std::size_t>(
+            (addr / config_.blockBytes) % config_.numSets());
+        auto &lru = sets_[set];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == block) {
+                lru.erase(it);
+                lru.push_front(block);
+                return true;
+            }
+        }
+        lru.push_front(block);
+        if (lru.size() > config_.associativity) {
+            lru.pop_back();
+        }
+        return false;
+    }
+
+  private:
+    CacheConfig config_;
+    std::unordered_map<std::size_t, std::list<Addr>> sets_;
+};
+
+using Geometry = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class CacheSweepTest : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheSweepTest, AgreesWithTheLruOracle)
+{
+    const auto [size, block, ways] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = size;
+    config.blockBytes = block;
+    config.associativity = ways;
+
+    Cache cache(config);
+    ReferenceCache oracle(config);
+    Rng rng(static_cast<std::uint64_t>(size + block * 131 + ways));
+
+    for (int i = 0; i < 30'000; ++i) {
+        // Addresses concentrated enough to exercise reuse and
+        // conflicts: 4x the cache size.
+        const Addr addr = rng.below(4 * size);
+        const bool oracle_hit = oracle.access(addr);
+
+        CacheLine *line = cache.find(addr);
+        const bool cache_hit = line != nullptr;
+        ASSERT_EQ(cache_hit, oracle_hit)
+            << "ref " << i << " addr " << addr;
+
+        if (cache_hit) {
+            cache.touch(*line);
+        } else {
+            CacheLine &victim = cache.victimFor(addr);
+            if (isValidState(victim.state)) {
+                cache.invalidate(victim);
+            }
+            cache.fill(victim, addr, LineState::Exclusive);
+        }
+    }
+}
+
+TEST_P(CacheSweepTest, NeverExceedsCapacity)
+{
+    const auto [size, block, ways] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = size;
+    config.blockBytes = block;
+    config.associativity = ways;
+
+    Cache cache(config);
+    Rng rng(7);
+    for (int i = 0; i < 5'000; ++i) {
+        const Addr addr = rng.below(16 * size);
+        if (cache.find(addr) == nullptr) {
+            CacheLine &victim = cache.victimFor(addr);
+            if (isValidState(victim.state)) {
+                cache.invalidate(victim);
+            }
+            cache.fill(victim, addr, LineState::Dirty);
+        }
+    }
+    EXPECT_LE(cache.validLines(), config.numLines());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweepTest,
+    ::testing::Values(Geometry{512, 16, 1}, Geometry{512, 16, 2},
+                      Geometry{1024, 16, 4}, Geometry{1024, 32, 1},
+                      Geometry{2048, 32, 2}, Geometry{4096, 16, 8},
+                      Geometry{4096, 64, 4},
+                      // Fully associative corner.
+                      Geometry{512, 16, 32}));
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for workload-parameter extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/mp/param_extractor.hh"
+#include "sim/synth/app_profiles.hh"
+#include "sim/synth/trace_generator.hh"
+
+namespace swcc
+{
+namespace
+{
+
+CacheConfig
+cache64k()
+{
+    CacheConfig c;
+    c.sizeBytes = 64 * 1024;
+    c.blockBytes = 16;
+    return c;
+}
+
+class ExtractorTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload_ = new SyntheticWorkloadConfig(
+            profileConfig(AppProfile::PopsLike, 4, 60'000, 33, true));
+        trace_ = new TraceBuffer(generateTrace(*workload_));
+        extracted_ = new ExtractedParams(extractParams(
+            *trace_, cache64k(), workload_->sharedClassifier()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete extracted_;
+        delete trace_;
+        delete workload_;
+    }
+
+    static SyntheticWorkloadConfig *workload_;
+    static TraceBuffer *trace_;
+    static ExtractedParams *extracted_;
+};
+
+SyntheticWorkloadConfig *ExtractorTest::workload_ = nullptr;
+TraceBuffer *ExtractorTest::trace_ = nullptr;
+ExtractedParams *ExtractorTest::extracted_ = nullptr;
+
+TEST_F(ExtractorTest, ExtractedParametersAreValid)
+{
+    EXPECT_NO_THROW(extracted_->params.validate());
+}
+
+TEST_F(ExtractorTest, DirectCountsComeFromTheTrace)
+{
+    EXPECT_DOUBLE_EQ(extracted_->params.ls, extracted_->traceStats.ls);
+    EXPECT_DOUBLE_EQ(extracted_->params.shd,
+                     extracted_->traceStats.shd);
+    EXPECT_DOUBLE_EQ(extracted_->params.wr, extracted_->traceStats.wr);
+    EXPECT_NEAR(extracted_->params.ls, workload_->ls, 0.03);
+    EXPECT_NEAR(extracted_->params.shd, workload_->shd, 0.05);
+}
+
+TEST_F(ExtractorTest, MissRatesComeFromTheBaseSimulation)
+{
+    EXPECT_DOUBLE_EQ(extracted_->params.msdat,
+                     extracted_->baseStats.dataMissRate());
+    EXPECT_DOUBLE_EQ(extracted_->params.mains,
+                     extracted_->baseStats.instrMissRate());
+    EXPECT_DOUBLE_EQ(extracted_->params.md,
+                     extracted_->baseStats.dirtyMissFraction());
+    EXPECT_GT(extracted_->params.msdat, 0.0);
+    EXPECT_LT(extracted_->params.msdat, 0.2);
+    EXPECT_GT(extracted_->params.mains, 0.0);
+    EXPECT_LT(extracted_->params.mains, 0.1);
+}
+
+TEST_F(ExtractorTest, SharingParametersComeFromTheDragonRun)
+{
+    const DragonMeasurements &m = extracted_->dragonMeasurements;
+    EXPECT_GT(m.sharedMisses, 0u);
+    EXPECT_GT(m.sharedWrites, 0u);
+    EXPECT_DOUBLE_EQ(extracted_->params.oclean, m.oclean());
+    EXPECT_DOUBLE_EQ(extracted_->params.opres, m.opres());
+    EXPECT_GE(extracted_->params.oclean, 0.0);
+    EXPECT_LE(extracted_->params.oclean, 1.0);
+    EXPECT_GE(extracted_->params.nshd, 0.0);
+}
+
+TEST_F(ExtractorTest, FlushBearingTraceYieldsMeasuredMdshd)
+{
+    ASSERT_TRUE(extracted_->traceStats.mdshd.has_value());
+    EXPECT_DOUBLE_EQ(extracted_->params.mdshd,
+                     *extracted_->traceStats.mdshd);
+}
+
+TEST(ExtractorDefaultsTest, HardwareTraceFallsBackForMdshd)
+{
+    // A trace without flushes cannot expose mdshd; the Table 7 middle
+    // value stands in.
+    const SyntheticWorkloadConfig workload =
+        profileConfig(AppProfile::ThorLike, 2, 10'000, 7, false);
+    const TraceBuffer trace = generateTrace(workload);
+    const ExtractedParams extracted =
+        extractParams(trace, cache64k(), workload.sharedClassifier());
+    EXPECT_FALSE(extracted.traceStats.mdshd.has_value());
+    EXPECT_DOUBLE_EQ(extracted.params.mdshd, 0.25);
+}
+
+TEST(ExtractorDefaultsTest, DynamicSharingWorksWithoutClassifier)
+{
+    const SyntheticWorkloadConfig workload =
+        profileConfig(AppProfile::PopsLike, 4, 20'000, 13, false);
+    const TraceBuffer trace = generateTrace(workload);
+    const ExtractedParams extracted = extractParams(trace, cache64k());
+    EXPECT_NO_THROW(extracted.params.validate());
+    EXPECT_GT(extracted.params.shd, 0.0);
+    // Dynamic sharing is a subset of the marked region.
+    const ExtractedParams marked = extractParams(
+        trace, cache64k(), workload.sharedClassifier());
+    EXPECT_LE(extracted.params.shd, marked.params.shd + 1e-12);
+}
+
+TEST(ExtractorDefaultsTest, SingleCpuTraceHasNoSharing)
+{
+    const SyntheticWorkloadConfig workload =
+        profileConfig(AppProfile::PopsLike, 1, 10'000, 3, false);
+    const TraceBuffer trace = generateTrace(workload);
+    const ExtractedParams extracted = extractParams(trace, cache64k());
+    EXPECT_DOUBLE_EQ(extracted.params.shd, 0.0);
+}
+
+} // namespace
+} // namespace swcc

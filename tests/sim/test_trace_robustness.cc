@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Robustness tests for trace serialization: malformed, truncated, and
+ * adversarial inputs must fail cleanly, never crash or mis-parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace/trace_io.hh"
+
+namespace swcc
+{
+namespace
+{
+
+std::string
+binaryBytes(const TraceBuffer &trace)
+{
+    std::ostringstream os;
+    writeBinaryTrace(trace, os);
+    return os.str();
+}
+
+TraceBuffer
+sampleTrace()
+{
+    TraceBuffer trace;
+    trace.append(0, RefType::IFetch, 0x1000);
+    trace.append(1, RefType::Load, 0x8000'0000);
+    trace.append(2, RefType::Store, 0x8000'0010);
+    trace.append(0, RefType::Flush, 0x8000'0000);
+    return trace;
+}
+
+TEST(TraceRobustnessTest, TruncationAtEveryPrefixFailsCleanly)
+{
+    const std::string bytes = binaryBytes(sampleTrace());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        std::istringstream is(bytes.substr(0, cut));
+        EXPECT_THROW(readBinaryTrace(is), std::runtime_error)
+            << "cut at " << cut;
+    }
+    // The complete stream still parses.
+    std::istringstream whole(bytes);
+    EXPECT_EQ(readBinaryTrace(whole).size(), sampleTrace().size());
+}
+
+TEST(TraceRobustnessTest, CorruptTypeBitsAreRejected)
+{
+    std::string bytes = binaryBytes(sampleTrace());
+    // The first event's meta word starts at offset 8 (magic) + 8
+    // (count) + 8 (addr); its third byte holds the type.
+    bytes[8 + 8 + 8 + 2] = '\x7f';
+    std::istringstream is(bytes);
+    EXPECT_THROW(readBinaryTrace(is), std::runtime_error);
+}
+
+TEST(TraceRobustnessTest, DishonestCountIsATruncationError)
+{
+    std::string bytes = binaryBytes(sampleTrace());
+    // Inflate the little-endian count at offset 8.
+    bytes[8] = '\x7f';
+    std::istringstream is(bytes);
+    EXPECT_THROW(readBinaryTrace(is), std::runtime_error);
+}
+
+TEST(TraceRobustnessTest, EmptyTraceRoundTrips)
+{
+    const TraceBuffer empty;
+    std::stringstream binary;
+    writeBinaryTrace(empty, binary);
+    EXPECT_EQ(readBinaryTrace(binary).size(), 0u);
+
+    std::stringstream text;
+    writeTextTrace(empty, text);
+    EXPECT_EQ(readTextTrace(text).size(), 0u);
+}
+
+TEST(TraceRobustnessTest, ExtremeFieldValuesSurvive)
+{
+    TraceBuffer trace;
+    trace.append(TraceEvent{~0ull, 65'000, RefType::Store});
+    trace.append(TraceEvent{0, 0, RefType::IFetch});
+
+    std::stringstream binary;
+    writeBinaryTrace(trace, binary);
+    const TraceBuffer loaded = readBinaryTrace(binary);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].addr, ~0ull);
+    EXPECT_EQ(loaded[0].cpu, 65'000);
+
+    std::stringstream text;
+    writeTextTrace(trace, text);
+    const TraceBuffer from_text = readTextTrace(text);
+    ASSERT_EQ(from_text.size(), 2u);
+    EXPECT_EQ(from_text[0].addr, ~0ull);
+}
+
+TEST(TraceRobustnessTest, TextTrailingGarbageOnLineIsIgnoredFields)
+{
+    // istream-based parsing stops at whitespace; extra columns after
+    // the triple are tolerated (forward compatibility), but garbage in
+    // place of required fields is not.
+    std::stringstream ok("0 l 10 extra-column\n");
+    EXPECT_EQ(readTextTrace(ok).size(), 1u);
+
+    std::stringstream missing_addr("0 l\n");
+    EXPECT_THROW(readTextTrace(missing_addr), std::runtime_error);
+
+    std::stringstream long_type("0 load 10\n");
+    EXPECT_THROW(readTextTrace(long_type), std::runtime_error);
+}
+
+TEST(TraceRobustnessTest, TextLineNumbersAppearInErrors)
+{
+    std::stringstream is("# fine\n0 i 10\n0 q 10\n");
+    try {
+        readTextTrace(is);
+        FAIL() << "expected a parse error";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("3"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for workload-parameter measurement from traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace/trace_stats.hh"
+
+namespace swcc
+{
+namespace
+{
+
+constexpr Addr kShared = 0x8000'0000;
+constexpr Addr kPrivateA = 0x4000'0000;
+constexpr Addr kPrivateB = 0x4100'0000;
+
+TEST(TraceStatsTest, CountsLsExactly)
+{
+    TraceBuffer trace;
+    for (int i = 0; i < 10; ++i) {
+        trace.append(0, RefType::IFetch, 0x1000 + 4u * static_cast<unsigned>(i));
+    }
+    trace.append(0, RefType::Load, kPrivateA);
+    trace.append(0, RefType::Store, kPrivateA + 4);
+    trace.append(0, RefType::Load, kPrivateA + 8);
+
+    const TraceStatistics stats = analyzeTrace(trace, 16);
+    EXPECT_EQ(stats.instructions, 10u);
+    EXPECT_EQ(stats.loads, 2u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_DOUBLE_EQ(stats.ls, 0.3);
+    EXPECT_DOUBLE_EQ(stats.shd, 0.0);
+}
+
+TEST(TraceStatsTest, DynamicSharingNeedsTwoProcessors)
+{
+    TraceBuffer trace;
+    trace.append(0, RefType::IFetch, 0x1000);
+    trace.append(0, RefType::Load, kShared);
+    trace.append(1, RefType::IFetch, 0x2000);
+    trace.append(1, RefType::Load, kShared + 4); // Same 16B block.
+    trace.append(0, RefType::Load, kPrivateA);   // Only cpu 0.
+
+    const TraceStatistics stats = analyzeTrace(trace, 16);
+    EXPECT_EQ(stats.sharedBlocks, 1u);
+    EXPECT_EQ(stats.sharedRefs, 2u);
+    EXPECT_DOUBLE_EQ(stats.shd, 2.0 / 3.0);
+}
+
+TEST(TraceStatsTest, ClassifierOverridesDynamicDetection)
+{
+    TraceBuffer trace;
+    trace.append(0, RefType::IFetch, 0x1000);
+    trace.append(0, RefType::Load, kShared);     // Only cpu 0 touches it
+    trace.append(0, RefType::Load, kPrivateA);
+
+    const SharedClassifier classifier = [](Addr block) {
+        return block >= kShared;
+    };
+    const TraceStatistics stats = analyzeTrace(trace, 16, classifier);
+    EXPECT_EQ(stats.sharedRefs, 1u);
+    EXPECT_DOUBLE_EQ(stats.shd, 0.5);
+}
+
+TEST(TraceStatsTest, WrCountsSharedStoresOnly)
+{
+    const SharedClassifier classifier = [](Addr block) {
+        return block >= kShared;
+    };
+    TraceBuffer trace;
+    trace.append(0, RefType::IFetch, 0x1000);
+    trace.append(0, RefType::Load, kShared);
+    trace.append(0, RefType::Store, kShared);
+    trace.append(0, RefType::Store, kShared + 16);
+    trace.append(0, RefType::Store, kPrivateA); // Private store ignored.
+
+    const TraceStatistics stats = analyzeTrace(trace, 16, classifier);
+    EXPECT_EQ(stats.sharedWrites, 2u);
+    EXPECT_DOUBLE_EQ(stats.wr, 2.0 / 3.0);
+}
+
+TEST(TraceStatsTest, AplMeasuresWriteRunsBetweenProcessors)
+{
+    const SharedClassifier classifier = [](Addr block) {
+        return block >= kShared;
+    };
+    TraceBuffer trace;
+    // cpu0: 3 references (one write) to the block, then cpu1 takes it.
+    trace.append(0, RefType::Load, kShared);
+    trace.append(0, RefType::Store, kShared + 4);
+    trace.append(0, RefType::Load, kShared + 8);
+    // cpu1: 2 references with a write, then cpu0 again.
+    trace.append(1, RefType::Store, kShared);
+    trace.append(1, RefType::Load, kShared + 4);
+    // cpu0 trailing run: never terminated, not counted.
+    trace.append(0, RefType::Store, kShared);
+
+    const TraceStatistics stats = analyzeTrace(trace, 16, classifier);
+    ASSERT_TRUE(stats.apl.has_value());
+    EXPECT_EQ(stats.aplRuns, 2u);
+    EXPECT_EQ(stats.aplRunRefs, 5u);
+    EXPECT_DOUBLE_EQ(*stats.apl, 2.5);
+}
+
+TEST(TraceStatsTest, ReadOnlyRunsAreNotCountedForApl)
+{
+    const SharedClassifier classifier = [](Addr block) {
+        return block >= kShared;
+    };
+    TraceBuffer trace;
+    trace.append(0, RefType::Load, kShared);
+    trace.append(0, RefType::Load, kShared + 4);
+    trace.append(1, RefType::Load, kShared); // Terminates a read run.
+    trace.append(0, RefType::Load, kShared);
+
+    const TraceStatistics stats = analyzeTrace(trace, 16, classifier);
+    EXPECT_EQ(stats.aplRuns, 0u);
+    EXPECT_FALSE(stats.apl.has_value());
+}
+
+TEST(TraceStatsTest, MdshdNeedsFlushEvents)
+{
+    const SharedClassifier classifier = [](Addr block) {
+        return block >= kShared;
+    };
+    TraceBuffer no_flush;
+    no_flush.append(0, RefType::Store, kShared);
+    EXPECT_FALSE(analyzeTrace(no_flush, 16, classifier)
+                     .mdshd.has_value());
+
+    TraceBuffer with_flush;
+    with_flush.append(0, RefType::Store, kShared);       // Dirties.
+    with_flush.append(0, RefType::Flush, kShared);       // Dirty flush.
+    with_flush.append(0, RefType::Load, kShared + 16);
+    with_flush.append(0, RefType::Flush, kShared + 16);  // Clean flush.
+    const TraceStatistics stats = analyzeTrace(with_flush, 16,
+                                               classifier);
+    ASSERT_TRUE(stats.mdshd.has_value());
+    EXPECT_DOUBLE_EQ(*stats.mdshd, 0.5);
+    ASSERT_TRUE(stats.aplPerFlush.has_value());
+    EXPECT_DOUBLE_EQ(*stats.aplPerFlush, 1.0);
+}
+
+TEST(TraceStatsTest, FlushClearsDirtiness)
+{
+    const SharedClassifier classifier = [](Addr block) {
+        return block >= kShared;
+    };
+    TraceBuffer trace;
+    trace.append(0, RefType::Store, kShared);
+    trace.append(0, RefType::Flush, kShared); // Dirty.
+    trace.append(0, RefType::Flush, kShared); // Now clean.
+    const TraceStatistics stats = analyzeTrace(trace, 16, classifier);
+    EXPECT_EQ(stats.dirtyFlushes, 1u);
+    EXPECT_EQ(stats.flushes, 2u);
+}
+
+TEST(TraceStatsTest, BlockGranularityGroupsAddresses)
+{
+    TraceBuffer trace;
+    trace.append(0, RefType::Load, kPrivateA);
+    trace.append(0, RefType::Load, kPrivateA + 8);   // Same 16B block.
+    trace.append(0, RefType::Load, kPrivateA + 16);  // Next block.
+    const TraceStatistics stats = analyzeTrace(trace, 16);
+    EXPECT_EQ(stats.dataBlocks, 2u);
+
+    const TraceStatistics stats32 = analyzeTrace(trace, 32);
+    EXPECT_EQ(stats32.dataBlocks, 1u);
+}
+
+TEST(TraceStatsTest, RejectsNonPowerOfTwoBlocks)
+{
+    EXPECT_THROW(analyzeTrace(TraceBuffer{}, 24), std::invalid_argument);
+    EXPECT_THROW(analyzeTrace(TraceBuffer{}, 0), std::invalid_argument);
+}
+
+TEST(TraceStatsTest, DistinctPrivateBlocksPerCpuAreUnshared)
+{
+    TraceBuffer trace;
+    trace.append(0, RefType::Load, kPrivateA);
+    trace.append(1, RefType::Load, kPrivateB);
+    const TraceStatistics stats = analyzeTrace(trace, 16);
+    EXPECT_EQ(stats.sharedBlocks, 0u);
+    EXPECT_DOUBLE_EQ(stats.shd, 0.0);
+}
+
+} // namespace
+} // namespace swcc

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the swcc command-line tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/commands.hh"
+#include "core/workload.hh"
+#include "cli/options.hh"
+
+namespace swcc::cli
+{
+namespace
+{
+
+int
+runCli(std::initializer_list<std::string> args, std::string *output)
+{
+    std::ostringstream out;
+    const int code = run(std::vector<std::string>(args), out);
+    if (output != nullptr) {
+        *output = out.str();
+    }
+    return code;
+}
+
+TEST(OptionsTest, ParsesValuesFlagsAndPositionals)
+{
+    const Options options = Options::parse(
+        {"trace.swcc", "--scheme", "dragon", "--network", "--cpus",
+         "16"});
+    EXPECT_EQ(options.positional().size(), 1u);
+    EXPECT_EQ(options.positional().front(), "trace.swcc");
+    EXPECT_EQ(options.valueOr("scheme", ""), "dragon");
+    EXPECT_TRUE(options.has("network"));
+    EXPECT_FALSE(options.value("network").has_value());
+    EXPECT_EQ(options.unsignedOr("cpus", 0), 16u);
+    EXPECT_EQ(options.unsignedOr("missing", 7), 7u);
+}
+
+TEST(OptionsTest, NumberParsingIsStrict)
+{
+    const Options options = Options::parse({"--x", "abc", "--y", "1.5"});
+    EXPECT_THROW(options.numberOr("x", 0.0), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(options.numberOr("y", 0.0), 1.5);
+    EXPECT_THROW(options.unsignedOr("y", 0), std::invalid_argument);
+}
+
+TEST(OptionsTest, RejectsEmptyAndUnknownOptions)
+{
+    EXPECT_THROW(Options::parse({"--"}), std::invalid_argument);
+    const Options options = Options::parse({"--known", "1", "--oops"});
+    EXPECT_THROW(options.requireKnown({"known"}), std::invalid_argument);
+    EXPECT_NO_THROW(options.requireKnown({"known", "oops"}));
+}
+
+TEST(CliTest, NoArgsPrintsUsage)
+{
+    std::string output;
+    EXPECT_EQ(runCli({}, &output), 2);
+    EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"help"}, &output), 0);
+    EXPECT_NE(output.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"frobnicate"}, &output), 2);
+    EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, EvalBusPrintsEveryScheme)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"eval", "--cpus", "8", "--shd", "0.2"}, &output),
+              0);
+    EXPECT_NE(output.find("Base"), std::string::npos);
+    EXPECT_NE(output.find("Dragon"), std::string::npos);
+    EXPECT_NE(output.find("Software-Flush"), std::string::npos);
+    EXPECT_NE(output.find("No-Cache"), std::string::npos);
+}
+
+TEST(CliTest, EvalNetworkIncludesDirectoryExtension)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"eval", "--network", "--stages", "8"}, &output),
+              0);
+    EXPECT_NE(output.find("Directory"), std::string::npos);
+    EXPECT_EQ(output.find("Dragon"), std::string::npos);
+}
+
+TEST(CliTest, EvalRejectsBadParameterValue)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"eval", "--shd", "1.7"}, &output), 2);
+    EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, EvalRejectsUnknownOption)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"eval", "--nonsense", "1"}, &output), 2);
+    EXPECT_NE(output.find("unknown option"), std::string::npos);
+}
+
+TEST(CliTest, GenStatSimRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/cli_trace.swcc";
+
+    std::string output;
+    ASSERT_EQ(runCli({"gen", "--profile", "pops-like", "--cpus", "2",
+                      "--instructions", "20000", "--flushes", "--out",
+                      path},
+                     &output),
+              0);
+    EXPECT_NE(output.find("wrote"), std::string::npos);
+
+    ASSERT_EQ(runCli({"stat", path}, &output), 0);
+    EXPECT_NE(output.find("ls"), std::string::npos);
+    EXPECT_NE(output.find("apl"), std::string::npos);
+
+    ASSERT_EQ(runCli({"sim", path, "--scheme", "software-flush"},
+                     &output),
+              0);
+    EXPECT_NE(output.find("processing power"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(CliTest, StatWithoutFileFails)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"stat"}, &output), 2);
+    EXPECT_NE(output.find("trace file"), std::string::npos);
+}
+
+TEST(CliTest, SimUnknownSchemeFails)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"sim", "x.swcc", "--scheme", "mesi"}, &output), 2);
+    EXPECT_NE(output.find("unknown scheme"), std::string::npos);
+}
+
+TEST(CliTest, ValidateRunsEndToEnd)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"validate", "--profile", "thor-like", "--scheme",
+                      "base", "--cpus", "2", "--instructions",
+                      "20000"},
+                     &output),
+              0);
+    EXPECT_NE(output.find("model power"), std::string::npos);
+    EXPECT_NE(output.find("error %"), std::string::npos);
+}
+
+TEST(CliTest, SweepProducesRequestedPoints)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--from", "0.1",
+                      "--to", "0.3", "--points", "3", "--cpus", "8"},
+                     &output),
+              0);
+    EXPECT_NE(output.find("0.1"), std::string::npos);
+    EXPECT_NE(output.find("0.3"), std::string::npos);
+}
+
+TEST(CliTest, SweepAplUsesAplAxis)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"sweep", "--param", "apl", "--from", "1", "--to",
+                      "64", "--points", "4"},
+                     &output),
+              0);
+    EXPECT_NE(output.find("apl"), std::string::npos);
+    EXPECT_NE(output.find("64"), std::string::npos);
+}
+
+TEST(CliTest, NetworkComparesDisciplines)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"network", "--stages", "6"}, &output), 0);
+    EXPECT_NE(output.find("circuit power"), std::string::npos);
+    EXPECT_NE(output.find("packet power"), std::string::npos);
+    EXPECT_NE(output.find("Directory"), std::string::npos);
+}
+
+TEST(CliTest, NetworkWithWideSwitches)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"network", "--stages", "8", "--switch", "4"},
+                     &output),
+              0);
+    EXPECT_NE(output.find("4x4"), std::string::npos);
+    EXPECT_EQ(runCli({"network", "--switch", "1"}, &output), 2);
+}
+
+TEST(CliTest, SensitivityPrintsEveryParameter)
+{
+    std::string output;
+    ASSERT_EQ(runCli({"sensitivity", "--cpus", "8"}, &output), 0);
+    for (ParamId id : kAllParams) {
+        EXPECT_NE(output.find(std::string(paramName(id))),
+                  std::string::npos)
+            << paramName(id);
+    }
+}
+
+TEST(CliTest, SweepNeedsParam)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"sweep", "--from", "0", "--to", "1"}, &output), 2);
+    EXPECT_NE(output.find("--param"), std::string::npos);
+}
+
+} // namespace
+} // namespace swcc::cli

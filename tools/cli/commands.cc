@@ -1,0 +1,501 @@
+#include "cli/commands.hh"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/swcc.hh"
+#include "sim/mp/param_extractor.hh"
+#include "sim/mp/system.hh"
+#include "sim/mp/validation.hh"
+#include "sim/synth/app_profiles.hh"
+#include "sim/synth/trace_generator.hh"
+#include "sim/trace/trace_io.hh"
+
+namespace swcc::cli
+{
+
+namespace
+{
+
+Scheme
+schemeFromName(const std::string &name)
+{
+    for (Scheme scheme : kAllSchemes) {
+        std::string candidate(schemeName(scheme));
+        for (char &c : candidate) {
+            c = static_cast<char>(std::tolower(c));
+        }
+        if (candidate == name) {
+            return scheme;
+        }
+    }
+    if (name == "sw-flush" || name == "swflush" || name == "flush") {
+        return Scheme::SoftwareFlush;
+    }
+    if (name == "nocache") {
+        return Scheme::NoCache;
+    }
+    throw std::invalid_argument(
+        "unknown scheme '" + name +
+        "' (expected base, no-cache, software-flush, or dragon)");
+}
+
+AppProfile
+profileFromName(const std::string &name)
+{
+    for (AppProfile profile : kAllProfiles) {
+        if (name == profileName(profile)) {
+            return profile;
+        }
+    }
+    if (name == "pops") {
+        return AppProfile::PopsLike;
+    }
+    if (name == "thor") {
+        return AppProfile::ThorLike;
+    }
+    if (name == "pero") {
+        return AppProfile::PeroLike;
+    }
+    throw std::invalid_argument(
+        "unknown profile '" + name +
+        "' (expected pops-like, thor-like, or pero-like)");
+}
+
+ParamId
+paramFromName(const std::string &name)
+{
+    for (ParamId id : kAllParams) {
+        if (name == paramName(id)) {
+            return id;
+        }
+    }
+    if (name == "apl") {
+        return ParamId::InvApl; // Callers sweep 1/apl transparently.
+    }
+    throw std::invalid_argument("unknown parameter '" + name + "'");
+}
+
+/** Applies every recognised `--<param> value` override. */
+WorkloadParams
+workloadFromOptions(const Options &options)
+{
+    WorkloadParams params = middleParams();
+    for (ParamId id : kAllParams) {
+        const std::string name(paramName(id));
+        if (name == "1/apl") {
+            continue; // Awkward on a command line; use --apl.
+        }
+        if (const auto text = options.value(name)) {
+            setParam(params, id, options.numberOr(name, 0.0));
+        }
+    }
+    if (options.has("apl")) {
+        params.apl = options.numberOr("apl", params.apl);
+    }
+    params.validate();
+    return params;
+}
+
+std::vector<std::string>
+workloadOptionNames()
+{
+    std::vector<std::string> names;
+    for (ParamId id : kAllParams) {
+        const std::string name(paramName(id));
+        if (name != "1/apl") {
+            names.push_back(name);
+        }
+    }
+    names.push_back("apl");
+    return names;
+}
+
+std::vector<std::string>
+withWorkload(std::vector<std::string> extra)
+{
+    std::vector<std::string> names = workloadOptionNames();
+    names.insert(names.end(), extra.begin(), extra.end());
+    return names;
+}
+
+} // namespace
+
+void
+printUsage(std::ostream &out)
+{
+    out <<
+        "swcc — Owicki-Agarwal software cache coherence toolkit\n"
+        "\n"
+        "usage: swcc <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  eval      evaluate the schemes analytically\n"
+        "            --cpus N (8) --network --stages N\n"
+        "            --<param> value (any Table 2 name, plus --apl)\n"
+        "  gen       generate a synthetic trace\n"
+        "            --profile pops-like|thor-like|pero-like\n"
+        "            --cpus N (4) --instructions N (100000)\n"
+        "            --seed N (1) --flushes --out FILE\n"
+        "  stat      measure a trace's workload parameters\n"
+        "            <trace-file> [--block BYTES (16)]\n"
+        "  sim       simulate a trace under one scheme\n"
+        "            <trace-file> --scheme NAME [--cache BYTES]\n"
+        "            [--assoc N] [--block BYTES]\n"
+        "  validate  model vs simulation on a synthetic profile\n"
+        "            --profile NAME --scheme NAME --cpus N\n"
+        "            [--instructions N] [--cache BYTES] [--seed N]\n"
+        "  sweep     sweep one parameter across all schemes\n"
+        "            --param NAME --from X --to X [--points N]\n"
+        "            [--cpus N]\n"
+        "  network   compare circuit/packet/directory on a network\n"
+        "            [--stages N (8)] [--switch K (2)] [--<param> v]\n"
+        "  sensitivity  Table 8 sensitivity analysis\n"
+        "            [--cpus N (16)] [--grid]\n";
+}
+
+int
+cmdEval(const Options &options, std::ostream &out)
+{
+    options.requireKnown(withWorkload({"cpus", "network", "stages"}));
+    const WorkloadParams params = workloadFromOptions(options);
+    const unsigned cpus = options.unsignedOr("cpus", 8);
+
+    if (options.has("network") || options.has("stages")) {
+        const unsigned stages =
+            options.unsignedOr("stages", stagesForProcessors(cpus));
+        out << "Multistage network, " << (1u << stages)
+            << " processors:\n\n";
+        TextTable table({"scheme", "compute U", "cycles/instr",
+                         "power"});
+        for (Scheme scheme : kAllSchemes) {
+            if (!schemeWorksOnNetwork(scheme)) {
+                continue;
+            }
+            const NetworkSolution sol =
+                evaluateNetwork(scheme, params, stages);
+            table.addRow({std::string(schemeName(scheme)),
+                          formatNumber(sol.computeFraction, 3),
+                          formatNumber(sol.cyclesPerInstruction, 3),
+                          formatNumber(sol.processingPower, 2)});
+        }
+        const NetworkSolution dir =
+            evaluateDirectoryNetwork(params, stages);
+        table.addRow({"Directory (ext)",
+                      formatNumber(dir.computeFraction, 3),
+                      formatNumber(dir.cyclesPerInstruction, 3),
+                      formatNumber(dir.processingPower, 2)});
+        table.print(out);
+        return 0;
+    }
+
+    out << "Bus, " << cpus << " processors:\n\n";
+    TextTable table({"scheme", "c", "b", "waiting", "utilization",
+                     "power"});
+    for (Scheme scheme : kAllSchemes) {
+        const BusSolution sol = evaluateBus(scheme, params, cpus);
+        table.addRow({std::string(schemeName(scheme)),
+                      formatNumber(sol.cpu, 3),
+                      formatNumber(sol.bus, 3),
+                      formatNumber(sol.waiting, 3),
+                      formatNumber(sol.processorUtilization, 3),
+                      formatNumber(sol.processingPower, 2)});
+    }
+    table.print(out);
+    return 0;
+}
+
+int
+cmdGen(const Options &options, std::ostream &out)
+{
+    options.requireKnown({"profile", "cpus", "instructions", "seed",
+                          "flushes", "out"});
+    const AppProfile profile =
+        profileFromName(options.valueOr("profile", "pops-like"));
+    const SyntheticWorkloadConfig config = profileConfig(
+        profile, options.unsignedOr("cpus", 4),
+        options.unsignedOr("instructions", 100'000),
+        options.unsignedOr("seed", 1), options.has("flushes"));
+
+    const TraceBuffer trace = generateTrace(config);
+    const std::string path = options.valueOr("out", "trace.swcc");
+    saveTrace(trace, path);
+    out << "wrote " << trace.size() << " events ("
+        << static_cast<unsigned>(trace.numCpus()) << " cpus) to "
+        << path << '\n';
+    return 0;
+}
+
+int
+cmdStat(const Options &options, std::ostream &out)
+{
+    options.requireKnown({"block"});
+    if (options.positional().empty()) {
+        throw std::invalid_argument("stat needs a trace file");
+    }
+    const TraceBuffer trace = loadTrace(options.positional().front());
+    const std::size_t block = options.unsignedOr("block", 16);
+    const TraceStatistics stats = analyzeTrace(trace, block);
+
+    TextTable table({"quantity", "value"});
+    table.addRow({"events", formatNumber(
+        static_cast<double>(trace.size()), 0)});
+    table.addRow({"cpus", formatNumber(trace.numCpus(), 0)});
+    table.addRow({"instructions", formatNumber(
+        static_cast<double>(stats.instructions), 0)});
+    table.addRow({"ls", formatNumber(stats.ls, 4)});
+    table.addRow({"shd (dynamic)", formatNumber(stats.shd, 4)});
+    table.addRow({"wr", formatNumber(stats.wr, 4)});
+    table.addRow({"apl", stats.apl
+        ? formatNumber(*stats.apl, 2) : "n/a"});
+    table.addRow({"mdshd", stats.mdshd
+        ? formatNumber(*stats.mdshd, 3) : "n/a (no flushes)"});
+    table.addRow({"shared blocks", formatNumber(
+        static_cast<double>(stats.sharedBlocks), 0)});
+    table.print(out);
+    return 0;
+}
+
+int
+cmdSim(const Options &options, std::ostream &out)
+{
+    options.requireKnown({"scheme", "cache", "assoc", "block"});
+    if (options.positional().empty()) {
+        throw std::invalid_argument("sim needs a trace file");
+    }
+    const Scheme scheme =
+        schemeFromName(options.valueOr("scheme", "dragon"));
+    const TraceBuffer trace = loadTrace(options.positional().front());
+
+    CacheConfig cache;
+    cache.sizeBytes = options.unsignedOr("cache", 64 * 1024);
+    cache.blockBytes = options.unsignedOr("block", 16);
+    cache.associativity = options.unsignedOr("assoc", 1);
+
+    // No-Cache needs a shared region; the generator's fixed layout
+    // marks everything above kSharedBase.
+    const SharedClassifier shared = [](Addr addr) {
+        return addr >= SyntheticWorkloadConfig::kSharedBase;
+    };
+    const SimStats stats = simulateTrace(scheme, trace, cache, shared);
+
+    TextTable table({"quantity", "value"});
+    table.addRow({"scheme", std::string(schemeName(scheme))});
+    table.addRow({"makespan (cycles)",
+                  formatNumber(stats.makespan, 0)});
+    table.addRow({"processing power",
+                  formatNumber(stats.processingPower(), 3)});
+    table.addRow({"avg utilization",
+                  formatNumber(stats.avgUtilization(), 3)});
+    table.addRow({"bus utilization",
+                  formatNumber(stats.busUtilization(), 3)});
+    table.addRow({"data miss rate",
+                  formatNumber(stats.dataMissRate(), 4)});
+    table.addRow({"instr miss rate",
+                  formatNumber(stats.instrMissRate(), 4)});
+    table.addRow({"dirty miss fraction",
+                  formatNumber(stats.dirtyMissFraction(), 3)});
+    table.print(out);
+    return 0;
+}
+
+int
+cmdValidate(const Options &options, std::ostream &out)
+{
+    options.requireKnown({"profile", "scheme", "cpus", "instructions",
+                          "cache", "seed"});
+    ValidationConfig config;
+    config.profile =
+        profileFromName(options.valueOr("profile", "pops-like"));
+    config.scheme = schemeFromName(options.valueOr("scheme", "dragon"));
+    config.maxCpus =
+        static_cast<CpuId>(options.unsignedOr("cpus", 4));
+    config.instructionsPerCpu =
+        options.unsignedOr("instructions", 100'000);
+    config.cacheBytes = options.unsignedOr("cache", 64 * 1024);
+    config.seed = options.unsignedOr("seed", 1);
+
+    TextTable table({"cpus", "sim power", "model power", "error %"});
+    for (const ValidationPoint &point : validate(config)) {
+        table.addRow({formatNumber(point.cpus, 0),
+                      formatNumber(point.simPower, 3),
+                      formatNumber(point.modelPower, 3),
+                      formatNumber(point.errorPercent(), 1)});
+    }
+    table.print(out);
+    return 0;
+}
+
+int
+cmdSweep(const Options &options, std::ostream &out)
+{
+    options.requireKnown(
+        withWorkload({"param", "from", "to", "points", "cpus"}));
+    const auto param_name = options.value("param");
+    if (!param_name) {
+        throw std::invalid_argument("sweep needs --param");
+    }
+    const ParamId param = paramFromName(*param_name);
+    const bool sweep_apl = *param_name == "apl";
+    const double from = options.numberOr("from", sweep_apl ? 1.0 : 0.0);
+    const double to = options.numberOr("to", sweep_apl ? 128.0 : 0.5);
+    const std::size_t points = options.unsignedOr("points", 9);
+    const unsigned cpus = options.unsignedOr("cpus", 16);
+
+    WorkloadParams base = workloadFromOptions(options);
+
+    TextTable table({*param_name, "Base", "Dragon", "Software-Flush",
+                     "No-Cache"});
+    for (double value : linspace(from, to, points)) {
+        WorkloadParams params = base;
+        if (sweep_apl) {
+            params.apl = value;
+        } else {
+            setParam(params, param, value);
+        }
+        std::vector<std::string> row{formatNumber(value, 4)};
+        for (Scheme scheme : {Scheme::Base, Scheme::Dragon,
+                              Scheme::SoftwareFlush, Scheme::NoCache}) {
+            row.push_back(formatNumber(
+                evaluateBus(scheme, params, cpus).processingPower, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(out);
+    return 0;
+}
+
+int
+cmdNetwork(const Options &options, std::ostream &out)
+{
+    options.requireKnown(withWorkload({"stages", "switch"}));
+    const WorkloadParams params = workloadFromOptions(options);
+    const unsigned k = options.unsignedOr("switch", 2);
+    if (k < 2) {
+        throw std::invalid_argument("--switch must be >= 2");
+    }
+    const unsigned stages = options.unsignedOr("stages", 8);
+    const unsigned processors = 1u << stages;
+
+    out << "Network disciplines, " << processors
+        << " processors (circuit: " << stages
+        << " stages of 2x2):\n\n";
+    TextTable table({"scheme", "circuit power", "packet power",
+                     "packet/circuit"});
+    for (Scheme scheme : {Scheme::Base, Scheme::SoftwareFlush,
+                          Scheme::NoCache}) {
+        const double circuit =
+            evaluateNetwork(scheme, params, stages).processingPower;
+        const double packet =
+            solvePacketNetwork(scheme, params, stages).processingPower;
+        table.addRow({std::string(schemeName(scheme)),
+                      formatNumber(circuit, 1),
+                      formatNumber(packet, 1),
+                      formatNumber(packet / circuit, 2) + "x"});
+    }
+    const double directory =
+        evaluateDirectoryNetwork(params, stages).processingPower;
+    table.addRow({"Directory (ext)", formatNumber(directory, 1), "-",
+                  "-"});
+    table.print(out);
+
+    if (k > 2) {
+        const unsigned k_stages = stagesForProcessorsK(processors, k);
+        out << "\nWith " << k << "x" << k << " switches (" << k_stages
+            << " stages), compute fraction at the Software-Flush "
+               "operating point:\n";
+        const NetworkCostModel costs(k_stages);
+        const PerInstructionCost cost = perInstructionCost(
+            operationFrequencies(Scheme::SoftwareFlush, params), costs);
+        const double u = solveComputeFractionK(
+            1.0 / cost.thinkTime(), cost.channel, k_stages, k);
+        out << "  U = " << formatNumber(u, 3) << " (2x2: "
+            << formatNumber(
+                   evaluateNetwork(Scheme::SoftwareFlush, params,
+                                   stages).computeFraction, 3)
+            << ")\n";
+    }
+    return 0;
+}
+
+int
+cmdSensitivity(const Options &options, std::ostream &out)
+{
+    options.requireKnown({"cpus", "grid"});
+    SensitivityConfig config;
+    config.processors = options.unsignedOr("cpus", 16);
+    config.averageOverGrid = options.has("grid");
+
+    out << "Sensitivity (% change in execution time, low -> high, "
+        << config.processors << " CPUs"
+        << (config.averageOverGrid ? ", grid-averaged" : "") << "):\n\n";
+    const auto table = sensitivityTable(config);
+    TextTable report({"parameter", "Software-Flush", "No-Cache",
+                      "Dragon", "Base"});
+    for (ParamId param : kAllParams) {
+        std::vector<std::string> row{std::string(paramName(param))};
+        for (Scheme scheme : {Scheme::SoftwareFlush, Scheme::NoCache,
+                              Scheme::Dragon, Scheme::Base}) {
+            for (const SensitivityEntry &entry : table) {
+                if (entry.param == param && entry.scheme == scheme) {
+                    row.push_back(
+                        formatNumber(entry.percentChange, 1));
+                }
+            }
+        }
+        report.addRow(std::move(row));
+    }
+    report.print(out);
+    return 0;
+}
+
+int
+run(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.empty()) {
+        printUsage(out);
+        return 2;
+    }
+    const std::string &command = args.front();
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+    try {
+        const Options options = Options::parse(rest);
+        if (command == "eval") {
+            return cmdEval(options, out);
+        }
+        if (command == "gen") {
+            return cmdGen(options, out);
+        }
+        if (command == "stat") {
+            return cmdStat(options, out);
+        }
+        if (command == "sim") {
+            return cmdSim(options, out);
+        }
+        if (command == "validate") {
+            return cmdValidate(options, out);
+        }
+        if (command == "sweep") {
+            return cmdSweep(options, out);
+        }
+        if (command == "network") {
+            return cmdNetwork(options, out);
+        }
+        if (command == "sensitivity") {
+            return cmdSensitivity(options, out);
+        }
+        if (command == "help" || command == "--help") {
+            printUsage(out);
+            return 0;
+        }
+        out << "unknown command '" << command << "'\n\n";
+        printUsage(out);
+        return 2;
+    } catch (const std::exception &error) {
+        out << "error: " << error.what() << '\n';
+        return 2;
+    }
+}
+
+} // namespace swcc::cli

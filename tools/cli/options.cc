@@ -1,0 +1,102 @@
+#include "cli/options.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace swcc::cli
+{
+
+Options
+Options::parse(const std::vector<std::string> &tokens)
+{
+    Options options;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        if (!token.starts_with("--")) {
+            options.positional_.push_back(token);
+            continue;
+        }
+        const std::string name = token.substr(2);
+        if (name.empty()) {
+            throw std::invalid_argument("empty option name '--'");
+        }
+        if (i + 1 < tokens.size() && !tokens[i + 1].starts_with("--")) {
+            options.options_[name] = tokens[++i];
+        } else {
+            options.options_[name] = std::nullopt;
+        }
+    }
+    return options;
+}
+
+std::optional<std::string>
+Options::value(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::string
+Options::valueOr(const std::string &name,
+                 const std::string &fallback) const
+{
+    const auto found = value(name);
+    return found ? *found : fallback;
+}
+
+double
+Options::numberOr(const std::string &name, double fallback) const
+{
+    const auto found = value(name);
+    if (!found) {
+        return fallback;
+    }
+    char *end = nullptr;
+    const double parsed = std::strtod(found->c_str(), &end);
+    if (end == found->c_str() || *end != '\0') {
+        throw std::invalid_argument(
+            "option --" + name + " expects a number, got '" + *found +
+            "'");
+    }
+    return parsed;
+}
+
+unsigned
+Options::unsignedOr(const std::string &name, unsigned fallback) const
+{
+    const double parsed =
+        numberOr(name, static_cast<double>(fallback));
+    if (parsed < 0.0 || parsed != static_cast<unsigned>(parsed)) {
+        throw std::invalid_argument(
+            "option --" + name + " expects a non-negative integer");
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return options_.contains(name);
+}
+
+void
+Options::requireKnown(const std::vector<std::string> &known) const
+{
+    for (const auto &[name, _] : options_) {
+        bool found = false;
+        for (const std::string &candidate : known) {
+            if (candidate == name) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            throw std::invalid_argument("unknown option --" + name);
+        }
+    }
+}
+
+} // namespace swcc::cli

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal command-line option parser for the swcc tool.
+ */
+
+#ifndef SWCC_TOOLS_CLI_OPTIONS_HH
+#define SWCC_TOOLS_CLI_OPTIONS_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swcc::cli
+{
+
+/**
+ * Parsed command line: `--key value` and `--flag` options plus bare
+ * positional arguments.
+ */
+class Options
+{
+  public:
+    /**
+     * Parses tokens. A token starting with "--" becomes an option;
+     * if the next token does not start with "--" it is taken as the
+     * option's value, otherwise the option is a boolean flag.
+     *
+     * @throws std::invalid_argument on an empty option name.
+     */
+    static Options parse(const std::vector<std::string> &tokens);
+
+    /** Value of `--name`, if present with a value. */
+    std::optional<std::string> value(const std::string &name) const;
+
+    /** Value of `--name` or @p fallback. */
+    std::string valueOr(const std::string &name,
+                        const std::string &fallback) const;
+
+    /** Numeric value of `--name` or @p fallback.
+     *  @throws std::invalid_argument if present but not numeric. */
+    double numberOr(const std::string &name, double fallback) const;
+
+    /** Unsigned value of `--name` or @p fallback. */
+    unsigned unsignedOr(const std::string &name, unsigned fallback) const;
+
+    /** Whether `--name` appeared (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** Bare positional arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /**
+     * Ensures every supplied option is in @p known.
+     *
+     * @throws std::invalid_argument naming the first unknown option.
+     */
+    void requireKnown(const std::vector<std::string> &known) const;
+
+  private:
+    std::map<std::string, std::optional<std::string>> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace swcc::cli
+
+#endif // SWCC_TOOLS_CLI_OPTIONS_HH
