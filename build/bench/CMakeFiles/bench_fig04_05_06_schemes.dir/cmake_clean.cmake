@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_05_06_schemes.dir/bench_fig04_05_06_schemes.cc.o"
+  "CMakeFiles/bench_fig04_05_06_schemes.dir/bench_fig04_05_06_schemes.cc.o.d"
+  "bench_fig04_05_06_schemes"
+  "bench_fig04_05_06_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_05_06_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

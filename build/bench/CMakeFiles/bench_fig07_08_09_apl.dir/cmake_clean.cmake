@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_08_09_apl.dir/bench_fig07_08_09_apl.cc.o"
+  "CMakeFiles/bench_fig07_08_09_apl.dir/bench_fig07_08_09_apl.cc.o.d"
+  "bench_fig07_08_09_apl"
+  "bench_fig07_08_09_apl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_08_09_apl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

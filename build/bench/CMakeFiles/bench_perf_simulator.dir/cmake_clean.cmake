@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_simulator.dir/bench_perf_simulator.cc.o"
+  "CMakeFiles/bench_perf_simulator.dir/bench_perf_simulator.cc.o.d"
+  "bench_perf_simulator"
+  "bench_perf_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

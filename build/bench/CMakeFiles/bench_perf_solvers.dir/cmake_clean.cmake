@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_solvers.dir/bench_perf_solvers.cc.o"
+  "CMakeFiles/bench_perf_solvers.dir/bench_perf_solvers.cc.o.d"
+  "bench_perf_solvers"
+  "bench_perf_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

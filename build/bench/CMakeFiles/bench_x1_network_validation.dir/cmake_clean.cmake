@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_network_validation.dir/bench_x1_network_validation.cc.o"
+  "CMakeFiles/bench_x1_network_validation.dir/bench_x1_network_validation.cc.o.d"
+  "bench_x1_network_validation"
+  "bench_x1_network_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_network_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

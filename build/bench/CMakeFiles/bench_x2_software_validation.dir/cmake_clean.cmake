@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_software_validation.dir/bench_x2_software_validation.cc.o"
+  "CMakeFiles/bench_x2_software_validation.dir/bench_x2_software_validation.cc.o.d"
+  "bench_x2_software_validation"
+  "bench_x2_software_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_software_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

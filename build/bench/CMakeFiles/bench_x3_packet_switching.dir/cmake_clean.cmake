@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_packet_switching.dir/bench_x3_packet_switching.cc.o"
+  "CMakeFiles/bench_x3_packet_switching.dir/bench_x3_packet_switching.cc.o.d"
+  "bench_x3_packet_switching"
+  "bench_x3_packet_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_packet_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

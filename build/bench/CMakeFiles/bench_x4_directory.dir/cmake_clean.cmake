@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_directory.dir/bench_x4_directory.cc.o"
+  "CMakeFiles/bench_x4_directory.dir/bench_x4_directory.cc.o.d"
+  "bench_x4_directory"
+  "bench_x4_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

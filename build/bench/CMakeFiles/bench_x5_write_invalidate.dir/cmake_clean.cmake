@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_write_invalidate.dir/bench_x5_write_invalidate.cc.o"
+  "CMakeFiles/bench_x5_write_invalidate.dir/bench_x5_write_invalidate.cc.o.d"
+  "bench_x5_write_invalidate"
+  "bench_x5_write_invalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_write_invalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

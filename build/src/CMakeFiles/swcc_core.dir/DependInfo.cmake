@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/breakdown.cc" "src/CMakeFiles/swcc_core.dir/core/breakdown.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/breakdown.cc.o.d"
+  "/root/repo/src/core/bus_model.cc" "src/CMakeFiles/swcc_core.dir/core/bus_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/bus_model.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/swcc_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/directory_model.cc" "src/CMakeFiles/swcc_core.dir/core/directory_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/directory_model.cc.o.d"
+  "/root/repo/src/core/frequency_model.cc" "src/CMakeFiles/swcc_core.dir/core/frequency_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/frequency_model.cc.o.d"
+  "/root/repo/src/core/invalidate_model.cc" "src/CMakeFiles/swcc_core.dir/core/invalidate_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/invalidate_model.cc.o.d"
+  "/root/repo/src/core/network_model.cc" "src/CMakeFiles/swcc_core.dir/core/network_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/network_model.cc.o.d"
+  "/root/repo/src/core/operation.cc" "src/CMakeFiles/swcc_core.dir/core/operation.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/operation.cc.o.d"
+  "/root/repo/src/core/packet_network_model.cc" "src/CMakeFiles/swcc_core.dir/core/packet_network_model.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/packet_network_model.cc.o.d"
+  "/root/repo/src/core/per_instruction.cc" "src/CMakeFiles/swcc_core.dir/core/per_instruction.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/per_instruction.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/swcc_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scheme_evaluator.cc" "src/CMakeFiles/swcc_core.dir/core/scheme_evaluator.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/scheme_evaluator.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/CMakeFiles/swcc_core.dir/core/sensitivity.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/sensitivity.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/swcc_core.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/sweep.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/swcc_core.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/swcc_core.dir/core/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcc_core.dir/core/breakdown.cc.o"
+  "CMakeFiles/swcc_core.dir/core/breakdown.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/bus_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/bus_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/directory_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/directory_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/frequency_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/frequency_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/invalidate_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/invalidate_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/network_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/network_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/operation.cc.o"
+  "CMakeFiles/swcc_core.dir/core/operation.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/packet_network_model.cc.o"
+  "CMakeFiles/swcc_core.dir/core/packet_network_model.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/per_instruction.cc.o"
+  "CMakeFiles/swcc_core.dir/core/per_instruction.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/report.cc.o"
+  "CMakeFiles/swcc_core.dir/core/report.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/scheme_evaluator.cc.o"
+  "CMakeFiles/swcc_core.dir/core/scheme_evaluator.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/sensitivity.cc.o"
+  "CMakeFiles/swcc_core.dir/core/sensitivity.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/sweep.cc.o"
+  "CMakeFiles/swcc_core.dir/core/sweep.cc.o.d"
+  "CMakeFiles/swcc_core.dir/core/workload.cc.o"
+  "CMakeFiles/swcc_core.dir/core/workload.cc.o.d"
+  "libswcc_core.a"
+  "libswcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/net/net_experiment.cc" "src/CMakeFiles/swcc_net.dir/sim/net/net_experiment.cc.o" "gcc" "src/CMakeFiles/swcc_net.dir/sim/net/net_experiment.cc.o.d"
+  "/root/repo/src/sim/net/net_source.cc" "src/CMakeFiles/swcc_net.dir/sim/net/net_source.cc.o" "gcc" "src/CMakeFiles/swcc_net.dir/sim/net/net_source.cc.o.d"
+  "/root/repo/src/sim/net/omega_network.cc" "src/CMakeFiles/swcc_net.dir/sim/net/omega_network.cc.o" "gcc" "src/CMakeFiles/swcc_net.dir/sim/net/omega_network.cc.o.d"
+  "/root/repo/src/sim/net/packet_network.cc" "src/CMakeFiles/swcc_net.dir/sim/net/packet_network.cc.o" "gcc" "src/CMakeFiles/swcc_net.dir/sim/net/packet_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swcc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcc_net.dir/sim/net/net_experiment.cc.o"
+  "CMakeFiles/swcc_net.dir/sim/net/net_experiment.cc.o.d"
+  "CMakeFiles/swcc_net.dir/sim/net/net_source.cc.o"
+  "CMakeFiles/swcc_net.dir/sim/net/net_source.cc.o.d"
+  "CMakeFiles/swcc_net.dir/sim/net/omega_network.cc.o"
+  "CMakeFiles/swcc_net.dir/sim/net/omega_network.cc.o.d"
+  "CMakeFiles/swcc_net.dir/sim/net/packet_network.cc.o"
+  "CMakeFiles/swcc_net.dir/sim/net/packet_network.cc.o.d"
+  "libswcc_net.a"
+  "libswcc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswcc_net.a"
+)

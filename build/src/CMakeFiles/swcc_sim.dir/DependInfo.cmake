@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus/bus.cc" "src/CMakeFiles/swcc_sim.dir/sim/bus/bus.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/bus/bus.cc.o.d"
+  "/root/repo/src/sim/cache/base_protocol.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/base_protocol.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/base_protocol.cc.o.d"
+  "/root/repo/src/sim/cache/cache.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/cache.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/cache.cc.o.d"
+  "/root/repo/src/sim/cache/coherence.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/coherence.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/coherence.cc.o.d"
+  "/root/repo/src/sim/cache/dragon_protocol.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/dragon_protocol.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/dragon_protocol.cc.o.d"
+  "/root/repo/src/sim/cache/invalidate_protocol.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/invalidate_protocol.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/invalidate_protocol.cc.o.d"
+  "/root/repo/src/sim/cache/nocache_protocol.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/nocache_protocol.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/nocache_protocol.cc.o.d"
+  "/root/repo/src/sim/cache/swflush_protocol.cc" "src/CMakeFiles/swcc_sim.dir/sim/cache/swflush_protocol.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/cache/swflush_protocol.cc.o.d"
+  "/root/repo/src/sim/mp/param_extractor.cc" "src/CMakeFiles/swcc_sim.dir/sim/mp/param_extractor.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/mp/param_extractor.cc.o.d"
+  "/root/repo/src/sim/mp/sim_stats.cc" "src/CMakeFiles/swcc_sim.dir/sim/mp/sim_stats.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/mp/sim_stats.cc.o.d"
+  "/root/repo/src/sim/mp/system.cc" "src/CMakeFiles/swcc_sim.dir/sim/mp/system.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/mp/system.cc.o.d"
+  "/root/repo/src/sim/mp/validation.cc" "src/CMakeFiles/swcc_sim.dir/sim/mp/validation.cc.o" "gcc" "src/CMakeFiles/swcc_sim.dir/sim/mp/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swcc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

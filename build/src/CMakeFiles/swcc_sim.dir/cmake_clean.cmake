@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcc_sim.dir/sim/bus/bus.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/bus/bus.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/base_protocol.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/base_protocol.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/cache.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/cache.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/coherence.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/coherence.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/dragon_protocol.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/dragon_protocol.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/invalidate_protocol.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/invalidate_protocol.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/nocache_protocol.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/nocache_protocol.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/cache/swflush_protocol.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/cache/swflush_protocol.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/mp/param_extractor.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/mp/param_extractor.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/mp/sim_stats.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/mp/sim_stats.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/mp/system.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/mp/system.cc.o.d"
+  "CMakeFiles/swcc_sim.dir/sim/mp/validation.cc.o"
+  "CMakeFiles/swcc_sim.dir/sim/mp/validation.cc.o.d"
+  "libswcc_sim.a"
+  "libswcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/synth/app_profiles.cc" "src/CMakeFiles/swcc_trace.dir/sim/synth/app_profiles.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/synth/app_profiles.cc.o.d"
+  "/root/repo/src/sim/synth/rng.cc" "src/CMakeFiles/swcc_trace.dir/sim/synth/rng.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/synth/rng.cc.o.d"
+  "/root/repo/src/sim/synth/trace_generator.cc" "src/CMakeFiles/swcc_trace.dir/sim/synth/trace_generator.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/synth/trace_generator.cc.o.d"
+  "/root/repo/src/sim/synth/workload_config.cc" "src/CMakeFiles/swcc_trace.dir/sim/synth/workload_config.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/synth/workload_config.cc.o.d"
+  "/root/repo/src/sim/trace/trace_buffer.cc" "src/CMakeFiles/swcc_trace.dir/sim/trace/trace_buffer.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/trace/trace_buffer.cc.o.d"
+  "/root/repo/src/sim/trace/trace_io.cc" "src/CMakeFiles/swcc_trace.dir/sim/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/trace/trace_io.cc.o.d"
+  "/root/repo/src/sim/trace/trace_stats.cc" "src/CMakeFiles/swcc_trace.dir/sim/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/swcc_trace.dir/sim/trace/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swcc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

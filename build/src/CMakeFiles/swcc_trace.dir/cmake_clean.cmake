@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcc_trace.dir/sim/synth/app_profiles.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/synth/app_profiles.cc.o.d"
+  "CMakeFiles/swcc_trace.dir/sim/synth/rng.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/synth/rng.cc.o.d"
+  "CMakeFiles/swcc_trace.dir/sim/synth/trace_generator.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/synth/trace_generator.cc.o.d"
+  "CMakeFiles/swcc_trace.dir/sim/synth/workload_config.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/synth/workload_config.cc.o.d"
+  "CMakeFiles/swcc_trace.dir/sim/trace/trace_buffer.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/trace/trace_buffer.cc.o.d"
+  "CMakeFiles/swcc_trace.dir/sim/trace/trace_io.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/trace/trace_io.cc.o.d"
+  "CMakeFiles/swcc_trace.dir/sim/trace/trace_stats.cc.o"
+  "CMakeFiles/swcc_trace.dir/sim/trace/trace_stats.cc.o.d"
+  "libswcc_trace.a"
+  "libswcc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

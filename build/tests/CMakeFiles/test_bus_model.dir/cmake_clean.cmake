@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_model.dir/core/test_bus_model.cc.o"
+  "CMakeFiles/test_bus_model.dir/core/test_bus_model.cc.o.d"
+  "test_bus_model"
+  "test_bus_model.pdb"
+  "test_bus_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

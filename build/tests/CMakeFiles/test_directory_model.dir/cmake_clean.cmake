@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directory_model.dir/core/test_directory_model.cc.o"
+  "CMakeFiles/test_directory_model.dir/core/test_directory_model.cc.o.d"
+  "test_directory_model"
+  "test_directory_model.pdb"
+  "test_directory_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

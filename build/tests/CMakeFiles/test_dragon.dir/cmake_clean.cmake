@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dragon.dir/sim/test_dragon.cc.o"
+  "CMakeFiles/test_dragon.dir/sim/test_dragon.cc.o.d"
+  "test_dragon"
+  "test_dragon.pdb"
+  "test_dragon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dragon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_model.dir/core/test_frequency_model.cc.o"
+  "CMakeFiles/test_frequency_model.dir/core/test_frequency_model.cc.o.d"
+  "test_frequency_model"
+  "test_frequency_model.pdb"
+  "test_frequency_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

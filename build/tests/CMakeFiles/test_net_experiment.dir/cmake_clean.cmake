@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_experiment.dir/sim/test_net_experiment.cc.o"
+  "CMakeFiles/test_net_experiment.dir/sim/test_net_experiment.cc.o.d"
+  "test_net_experiment"
+  "test_net_experiment.pdb"
+  "test_net_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

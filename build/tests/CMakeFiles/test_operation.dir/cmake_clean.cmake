@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operation.dir/core/test_operation.cc.o"
+  "CMakeFiles/test_operation.dir/core/test_operation.cc.o.d"
+  "test_operation"
+  "test_operation.pdb"
+  "test_operation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_model.dir/core/test_packet_model.cc.o"
+  "CMakeFiles/test_packet_model.dir/core/test_packet_model.cc.o.d"
+  "test_packet_model"
+  "test_packet_model.pdb"
+  "test_packet_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

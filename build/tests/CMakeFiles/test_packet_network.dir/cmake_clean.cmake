@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_network.dir/sim/test_packet_network.cc.o"
+  "CMakeFiles/test_packet_network.dir/sim/test_packet_network.cc.o.d"
+  "test_packet_network"
+  "test_packet_network.pdb"
+  "test_packet_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

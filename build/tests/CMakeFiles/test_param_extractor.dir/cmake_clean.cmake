@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_extractor.dir/sim/test_param_extractor.cc.o"
+  "CMakeFiles/test_param_extractor.dir/sim/test_param_extractor.cc.o.d"
+  "test_param_extractor"
+  "test_param_extractor.pdb"
+  "test_param_extractor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

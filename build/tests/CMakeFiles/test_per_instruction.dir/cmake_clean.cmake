@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_per_instruction.dir/core/test_per_instruction.cc.o"
+  "CMakeFiles/test_per_instruction.dir/core/test_per_instruction.cc.o.d"
+  "test_per_instruction"
+  "test_per_instruction.pdb"
+  "test_per_instruction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_per_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

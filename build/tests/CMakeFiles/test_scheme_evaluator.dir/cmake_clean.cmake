@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_evaluator.dir/core/test_scheme_evaluator.cc.o"
+  "CMakeFiles/test_scheme_evaluator.dir/core/test_scheme_evaluator.cc.o.d"
+  "test_scheme_evaluator"
+  "test_scheme_evaluator.pdb"
+  "test_scheme_evaluator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

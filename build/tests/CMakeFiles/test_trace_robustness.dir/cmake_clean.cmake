@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_robustness.dir/sim/test_trace_robustness.cc.o"
+  "CMakeFiles/test_trace_robustness.dir/sim/test_trace_robustness.cc.o.d"
+  "test_trace_robustness"
+  "test_trace_robustness.pdb"
+  "test_trace_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cli/main.cc" "tools/CMakeFiles/swcc.dir/cli/main.cc.o" "gcc" "tools/CMakeFiles/swcc.dir/cli/main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/swcc_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

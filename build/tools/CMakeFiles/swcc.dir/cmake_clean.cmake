@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcc.dir/cli/main.cc.o"
+  "CMakeFiles/swcc.dir/cli/main.cc.o.d"
+  "swcc"
+  "swcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for swcc.
+# This may be replaced when dependencies are built.

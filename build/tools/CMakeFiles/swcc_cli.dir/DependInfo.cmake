@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cli/commands.cc" "tools/CMakeFiles/swcc_cli.dir/cli/commands.cc.o" "gcc" "tools/CMakeFiles/swcc_cli.dir/cli/commands.cc.o.d"
+  "/root/repo/tools/cli/options.cc" "tools/CMakeFiles/swcc_cli.dir/cli/options.cc.o" "gcc" "tools/CMakeFiles/swcc_cli.dir/cli/options.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swcc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

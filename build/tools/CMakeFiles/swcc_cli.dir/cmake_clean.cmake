@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcc_cli.dir/cli/commands.cc.o"
+  "CMakeFiles/swcc_cli.dir/cli/commands.cc.o.d"
+  "CMakeFiles/swcc_cli.dir/cli/options.cc.o"
+  "CMakeFiles/swcc_cli.dir/cli/options.cc.o.d"
+  "libswcc_cli.a"
+  "libswcc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswcc_cli.a"
+)
