@@ -1,0 +1,219 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace swcc
+{
+
+namespace
+{
+
+/**
+ * True while this thread is executing inside a parallel loop (worker
+ * or participating caller); nested loops then run inline.
+ */
+thread_local bool tls_in_parallel = false;
+
+struct InParallelScope
+{
+    InParallelScope() { tls_in_parallel = true; }
+    ~InParallelScope() { tls_in_parallel = false; }
+};
+
+std::atomic<unsigned> thread_override{0};
+
+/** SWCC_THREADS as a lane count; 0 when unset or not a positive int. */
+unsigned
+envThreads()
+{
+    const char *env = std::getenv("SWCC_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return 0;
+    }
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || parsed == 0 || parsed > 4096) {
+        return 0; // Nonsense values fall back to the default.
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned lanes = std::max(1u, threads);
+    workers_.reserve(lanes - 1);
+    for (unsigned i = 1; i < lanes; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    InParallelScope scope;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stop_ || (jobFn_ != nullptr && jobSeq_ != seen);
+        });
+        if (stop_) {
+            return;
+        }
+        seen = jobSeq_;
+        const auto *fn = jobFn_;
+        ++workersBusy_;
+        lock.unlock();
+        drainJob(*fn);
+        lock.lock();
+        if (--workersBusy_ == 0) {
+            done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::drainJob(const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t n = jobSize_;
+    const std::size_t chunk = jobChunk_;
+    for (;;) {
+        const std::size_t begin =
+            cursor_.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) {
+            return;
+        }
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+            if (failed_.load(std::memory_order_relaxed)) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_) {
+                    error_ = std::current_exception();
+                }
+                failed_.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0) {
+        return;
+    }
+    if (workers_.empty() || n == 1 || tls_in_parallel) {
+        // Serial path: identical iteration order, no scheduling at all.
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    std::lock_guard<std::mutex> job_lock(jobMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobFn_ = &fn;
+        jobSize_ = n;
+        // Aim for ~8 steals per lane so uneven cells rebalance without
+        // the cursor becoming contended.
+        jobChunk_ = std::max<std::size_t>(
+            1, n / (static_cast<std::size_t>(size()) * 8));
+        cursor_.store(0, std::memory_order_relaxed);
+        failed_.store(false, std::memory_order_relaxed);
+        error_ = nullptr;
+        ++jobSeq_;
+    }
+    wake_.notify_all();
+    {
+        InParallelScope scope;
+        drainJob(fn);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return workersBusy_ == 0; });
+    // Late-waking workers see a null job and keep sleeping; nothing may
+    // touch fn once forEach returns.
+    jobFn_ = nullptr;
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+unsigned
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+setThreadCount(unsigned threads)
+{
+    thread_override.store(threads, std::memory_order_relaxed);
+}
+
+unsigned
+configuredThreads()
+{
+    const unsigned forced = thread_override.load(std::memory_order_relaxed);
+    if (forced != 0) {
+        return forced;
+    }
+    const unsigned env = envThreads();
+    if (env != 0) {
+        return env;
+    }
+    return hardwareThreads();
+}
+
+ThreadPool &
+globalPool()
+{
+    static std::mutex pool_mutex;
+    static std::unique_ptr<ThreadPool> pool;
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    const unsigned want = configuredThreads();
+    if (!pool || pool->size() != want) {
+        pool.reset(); // Join the old workers before spawning anew.
+        pool = std::make_unique<ThreadPool>(want);
+    }
+    return *pool;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n <= 1 || tls_in_parallel || configuredThreads() <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    globalPool().forEach(n, fn);
+}
+
+} // namespace swcc

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/parallel.hh"
 #include "core/per_instruction.hh"
 
 namespace swcc
@@ -43,24 +44,22 @@ std::vector<BusSolution>
 busPowerCurve(Scheme scheme, const WorkloadParams &params,
               unsigned max_processors)
 {
-    std::vector<BusSolution> curve;
-    curve.reserve(max_processors);
-    for (unsigned n = 1; n <= max_processors; ++n) {
-        curve.push_back(evaluateBus(scheme, params, n));
-    }
-    return curve;
+    // Every processor count is an independent solve; slot i holds the
+    // (i+1)-processor solution whatever the thread count.
+    return parallelMap(max_processors, [&](std::size_t i) {
+        return evaluateBus(scheme, params,
+                           static_cast<unsigned>(i) + 1);
+    });
 }
 
 std::vector<NetworkSolution>
 networkPowerCurve(Scheme scheme, const WorkloadParams &params,
                   unsigned max_stages)
 {
-    std::vector<NetworkSolution> curve;
-    curve.reserve(max_stages);
-    for (unsigned s = 1; s <= max_stages; ++s) {
-        curve.push_back(evaluateNetwork(scheme, params, s));
-    }
-    return curve;
+    return parallelMap(max_stages, [&](std::size_t i) {
+        return evaluateNetwork(scheme, params,
+                               static_cast<unsigned>(i) + 1);
+    });
 }
 
 } // namespace swcc

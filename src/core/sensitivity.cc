@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "core/parallel.hh"
 #include "core/scheme_evaluator.hh"
 
 namespace swcc
@@ -104,14 +105,26 @@ sensitivityTable(const SensitivityConfig &config)
         Scheme::Base,
     };
 
-    std::vector<SensitivityEntry> table;
-    table.reserve(kNumParams * kNumSchemes);
+    // Each (parameter, scheme) cell — including its 27-point companion
+    // grid in grid mode — is an independent evaluation; run the cells
+    // across the pool, each writing its own pre-assigned slot so the
+    // table is bit-identical to the serial loop.
+    struct Cell
+    {
+        ParamId param;
+        Scheme scheme;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(kNumParams * kNumSchemes);
     for (ParamId param : kAllParams) {
         for (Scheme scheme : column_order) {
-            table.push_back(parameterSensitivity(scheme, param, config));
+            cells.push_back({param, scheme});
         }
     }
-    return table;
+    return parallelMap(cells.size(), [&](std::size_t i) {
+        return parameterSensitivity(cells[i].scheme, cells[i].param,
+                                    config);
+    });
 }
 
 std::vector<SensitivityEntry>

@@ -26,6 +26,7 @@
 #include "core/network_model.hh"
 #include "core/packet_network_model.hh"
 #include "core/operation.hh"
+#include "core/parallel.hh"
 #include "core/per_instruction.hh"
 #include "core/report.hh"
 #include "core/scheme_evaluator.hh"

@@ -1,8 +1,10 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hh"
 #include "core/scheme_evaluator.hh"
 
 namespace swcc
@@ -11,7 +13,13 @@ namespace swcc
 double
 Series::maxY() const
 {
-    double best = 0.0;
+    // Seed from the first point — an all-negative series (e.g. a
+    // delta/error series) must not report a phantom maximum of 0.
+    // Empty mirrors finalY's convention of returning 0.
+    if (points.empty()) {
+        return 0.0;
+    }
+    double best = points.front().y;
     for (const SeriesPoint &p : points) {
         best = std::max(best, p.y);
     }
@@ -88,11 +96,12 @@ aplPowerSeries(Scheme scheme, WorkloadParams params,
 {
     Series series;
     series.label = std::string(schemeName(scheme));
-    for (double apl : apl_values) {
-        params.apl = apl;
-        const BusSolution sol = evaluateBus(scheme, params, processors);
-        series.points.push_back({apl, sol.processingPower});
-    }
+    series.points = parallelMap(apl_values.size(), [&](std::size_t i) {
+        WorkloadParams cell = params;
+        cell.apl = apl_values[i];
+        const BusSolution sol = evaluateBus(scheme, cell, processors);
+        return SeriesPoint{apl_values[i], sol.processingPower};
+    });
     return series;
 }
 
@@ -118,13 +127,17 @@ networkUtilizationSeries(unsigned stages, double message_words,
     series.label =
         "msg=" + std::to_string(static_cast<int>(message_words)) + "w";
     const double size = message_words + 2.0 * static_cast<double>(stages);
+    std::vector<double> valid;
+    valid.reserve(rates.size());
     for (double rate : rates) {
-        if (rate <= 0.0) {
-            continue;
+        if (rate > 0.0) {
+            valid.push_back(rate);
         }
-        series.points.push_back(
-            {rate, solveComputeFraction(rate, size, stages)});
     }
+    series.points = parallelMap(valid.size(), [&](std::size_t i) {
+        return SeriesPoint{
+            valid[i], solveComputeFraction(valid[i], size, stages)};
+    });
     return series;
 }
 

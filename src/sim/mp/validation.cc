@@ -1,5 +1,6 @@
 #include "sim/mp/validation.hh"
 
+#include "core/parallel.hh"
 #include "core/scheme_evaluator.hh"
 #include "sim/mp/param_extractor.hh"
 #include "sim/mp/system.hh"
@@ -19,12 +20,14 @@ ValidationPoint::errorPercent() const
 std::vector<ValidationPoint>
 validate(const ValidationConfig &config)
 {
-    std::vector<ValidationPoint> points;
-    points.reserve(config.maxCpus);
-
     const bool software_trace = config.scheme == Scheme::SoftwareFlush;
 
-    for (CpuId cpus = 1; cpus <= config.maxCpus; ++cpus) {
+    // One simulator instance per processor count, run concurrently.
+    // Each cell seeds its own trace generator from the cell index
+    // (seed + cpus), so the numbers are independent of evaluation
+    // order and bit-identical to the serial loop.
+    return parallelMap(config.maxCpus, [&](std::size_t i) {
+        const CpuId cpus = static_cast<CpuId>(i + 1);
         SyntheticWorkloadConfig workload = profileConfig(
             config.profile, cpus, config.instructionsPerCpu,
             config.seed + cpus, software_trace);
@@ -51,9 +54,8 @@ validate(const ValidationConfig &config)
             evaluateBus(config.scheme, extracted.params, cpus);
         point.modelPower = point.model.processingPower;
 
-        points.push_back(std::move(point));
-    }
-    return points;
+        return point;
+    });
 }
 
 } // namespace swcc

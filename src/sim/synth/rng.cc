@@ -35,6 +35,18 @@ Rng::Rng(std::uint64_t seed)
     }
 }
 
+Rng
+Rng::split(std::uint64_t index) const
+{
+    // Fold the full parent state and the cell index through SplitMix64
+    // (via the seeding constructor). Adjacent indices land in unrelated
+    // regions of the seed space, and the parent keeps its own stream.
+    std::uint64_t mix = state_[0];
+    mix ^= rotl(state_[1], 13) ^ rotl(state_[2], 29) ^ rotl(state_[3], 43);
+    mix += 0x9e3779b97f4a7c15ull * (index + 1);
+    return Rng(mix);
+}
+
 std::uint64_t
 Rng::next()
 {

@@ -29,6 +29,15 @@ class Rng
     /** Next raw 64-bit output. */
     std::uint64_t next();
 
+    /**
+     * Derived independent stream for cell @p index; the parent's state
+     * is not advanced. Sibling streams (`split(0)`, `split(1)`, ...)
+     * are decorrelated regardless of index spacing, which is what lets
+     * parallel experiment grids seed one generator per cell and stay
+     * bit-identical to a serial sweep (see core/parallel.hh).
+     */
+    Rng split(std::uint64_t index) const;
+
     /** Uniform double in [0, 1). */
     double uniform();
 

@@ -1,9 +1,11 @@
 #include "sim/trace/trace_io.hh"
 
 #include <array>
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -60,6 +62,30 @@ refTypeFromChar(char c, std::size_t line_no)
     }
 }
 
+/**
+ * Parses a full hex address token, rejecting signs, trailing garbage,
+ * and overflow — std::stoull would silently accept "1f2zz" (as 0x1f2)
+ * and wrap "-1" to 2^64-1. An optional 0x/0X prefix is tolerated.
+ */
+Addr
+parseHexAddr(const std::string &token, std::size_t line_no)
+{
+    const char *first = token.data();
+    const char *last = token.data() + token.size();
+    if (last - first > 2 && first[0] == '0' &&
+        (first[1] == 'x' || first[1] == 'X')) {
+        first += 2;
+    }
+    Addr value = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, value, 16);
+    if (ec != std::errc{} || ptr != last || first == last) {
+        throw std::runtime_error(
+            "bad address '" + token + "' on line " +
+            std::to_string(line_no) + " (expected hex)");
+    }
+    return value;
+}
+
 char
 refTypeToChar(RefType type)
 {
@@ -100,8 +126,35 @@ readBinaryTrace(std::istream &is)
         throw std::runtime_error("not a SWCC binary trace (bad magic)");
     }
     const std::uint64_t count = readU64(is);
+
+    // Bound the header count by what the stream can actually hold (16
+    // bytes per event) before reserving: a corrupt or truncated file
+    // must raise the truncation error, not a multi-GB allocation.
+    constexpr std::uint64_t kBytesPerEvent = 16;
+    std::uint64_t reservable = count;
+    const auto here = is.tellg();
+    if (here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const auto end = is.tellg();
+        is.seekg(here);
+        if (end != std::istream::pos_type(-1) && end >= here) {
+            const auto remaining =
+                static_cast<std::uint64_t>(end - here);
+            if (count > remaining / kBytesPerEvent) {
+                throw std::runtime_error(
+                    "truncated trace: header claims " +
+                    std::to_string(count) + " events but only " +
+                    std::to_string(remaining) + " bytes remain");
+            }
+        }
+    } else {
+        // Unseekable stream: cap the reserve; the event loop below
+        // still reports truncation the moment the stream runs dry.
+        is.clear();
+        reservable = std::min<std::uint64_t>(count, 1u << 20);
+    }
     TraceBuffer trace;
-    trace.reserve(count);
+    trace.reserve(static_cast<std::size_t>(reservable));
     for (std::uint64_t i = 0; i < count; ++i) {
         TraceEvent event;
         event.addr = readU64(is);
@@ -155,7 +208,7 @@ readTextTrace(std::istream &is)
         TraceEvent event;
         event.cpu = static_cast<CpuId>(cpu);
         event.type = refTypeFromChar(type_token[0], line_no);
-        event.addr = std::stoull(addr_token, nullptr, 16);
+        event.addr = parseHexAddr(addr_token, line_no);
         trace.append(event);
     }
     return trace;

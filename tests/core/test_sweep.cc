@@ -54,6 +54,19 @@ TEST(SeriesTest, MaxAndFinalY)
     EXPECT_DOUBLE_EQ(Series{}.finalY(), 0.0);
 }
 
+TEST(SeriesTest, MaxYOfAllNegativeSeriesIsTheLargestValue)
+{
+    // Seeding the max with 0.0 used to report 0 for delta/error series
+    // whose values are all negative.
+    Series series;
+    series.points = {{1.0, -3.0}, {2.0, -1.5}, {3.0, -4.0}};
+    EXPECT_DOUBLE_EQ(series.maxY(), -1.5);
+
+    Series single;
+    single.points = {{1.0, -7.0}};
+    EXPECT_DOUBLE_EQ(single.maxY(), -7.0);
+}
+
 TEST(BusPowerSeriesTest, LabelsAndXAxis)
 {
     const Series series =

@@ -157,6 +157,54 @@ TEST(RngTest, ZipfStaysInRangeAndSkews)
     EXPECT_THROW(rng.zipf(0, 1.0), std::invalid_argument);
 }
 
+TEST(RngTest, SplitIsDeterministicPerIndex)
+{
+    const Rng parent(42);
+    Rng a = parent.split(3);
+    Rng b = parent.split(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated)
+{
+    const Rng parent(42);
+    // Adjacent cell indices, and the parent itself, must all diverge.
+    Rng streams[3] = {parent.split(0), parent.split(1), Rng(42)};
+    int collisions = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = streams[0].next();
+        const std::uint64_t b = streams[1].next();
+        const std::uint64_t c = streams[2].next();
+        collisions += (a == b || a == c || b == c) ? 1 : 0;
+    }
+    EXPECT_EQ(collisions, 0);
+}
+
+TEST(RngTest, SplitDoesNotAdvanceTheParent)
+{
+    Rng with_split(7);
+    Rng plain(7);
+    (void)with_split.split(5);
+    (void)with_split.split(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(with_split.next(), plain.next());
+    }
+}
+
+TEST(RngTest, SplitDependsOnParentState)
+{
+    // Streams derived from different parents must differ too.
+    Rng a = Rng(1).split(0);
+    Rng b = Rng(2).split(0);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        same += a.next() == b.next() ? 1 : 0;
+    }
+    EXPECT_EQ(same, 0);
+}
+
 TEST(RngTest, ZipfZeroSkewIsUniform)
 {
     Rng rng(31);

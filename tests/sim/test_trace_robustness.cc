@@ -113,6 +113,67 @@ TEST(TraceRobustnessTest, TextTrailingGarbageOnLineIsIgnoredFields)
     EXPECT_THROW(readTextTrace(long_type), std::runtime_error);
 }
 
+TEST(TraceRobustnessTest, AddressWithTrailingGarbageIsRejected)
+{
+    // std::stoull would silently parse "1f2zz" as 0x1f2; the full
+    // token must be valid hex.
+    std::stringstream is("0 l 1f2zz\n");
+    EXPECT_THROW(readTextTrace(is), std::runtime_error);
+}
+
+TEST(TraceRobustnessTest, NegativeAddressIsRejected)
+{
+    // std::stoull would wrap "-1" to 2^64-1.
+    std::stringstream is("0 l -1\n");
+    EXPECT_THROW(readTextTrace(is), std::runtime_error);
+}
+
+TEST(TraceRobustnessTest, BadAddressErrorsCarryTheLineNumber)
+{
+    for (const char *body : {"0 l zz\n", "0 l 1f2zz\n", "0 l -1\n"}) {
+        std::stringstream is(std::string("# header\n0 i 10\n") + body);
+        try {
+            readTextTrace(is);
+            FAIL() << "expected a parse error for " << body;
+        } catch (const std::runtime_error &error) {
+            EXPECT_NE(std::string(error.what()).find("line 3"),
+                      std::string::npos)
+                << error.what();
+        }
+    }
+}
+
+TEST(TraceRobustnessTest, HexPrefixedAddressesStillParse)
+{
+    std::stringstream is("0 l 0x1f\n1 s 0X20\n");
+    const TraceBuffer trace = readTextTrace(is);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].addr, 0x1fu);
+    EXPECT_EQ(trace[1].addr, 0x20u);
+    std::stringstream bare_prefix("0 l 0x\n");
+    EXPECT_THROW(readTextTrace(bare_prefix), std::runtime_error);
+}
+
+TEST(TraceRobustnessTest, HugeHeaderCountFailsFastWithoutAllocating)
+{
+    // A corrupt count must hit the truncation error before reserve():
+    // previously 2^56 events meant a multi-GB allocation attempt.
+    std::string bytes = "SWCCTRC1";
+    for (int i = 0; i < 7; ++i) {
+        bytes.push_back('\0');
+    }
+    bytes.push_back('\x7f'); // count = 0x7f00'0000'0000'0000
+    std::istringstream is(bytes);
+    try {
+        readBinaryTrace(is);
+        FAIL() << "expected a truncation error";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("truncated"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(TraceRobustnessTest, TextLineNumbersAppearInErrors)
 {
     std::stringstream is("# fine\n0 i 10\n0 q 10\n");

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "cli/commands.hh"
+#include "core/parallel.hh"
 #include "core/workload.hh"
 #include "cli/options.hh"
 
@@ -50,6 +51,29 @@ TEST(OptionsTest, NumberParsingIsStrict)
     EXPECT_THROW(options.unsignedOr("y", 0), std::invalid_argument);
 }
 
+TEST(OptionsTest, UnsignedRejectsValuesAboveUintMax)
+{
+    // Casting a double above UINT_MAX to unsigned is UB; the parser
+    // must range-check first and report a clear error.
+    const Options options = Options::parse(
+        {"--events", "5e9", "--edge", "4294967295", "--over",
+         "4294967296", "--neg", "-3", "--inf", "inf"});
+    EXPECT_THROW(options.unsignedOr("events", 0),
+                 std::invalid_argument);
+    EXPECT_EQ(options.unsignedOr("edge", 0), 4294967295u);
+    EXPECT_THROW(options.unsignedOr("over", 0), std::invalid_argument);
+    EXPECT_THROW(options.unsignedOr("neg", 0), std::invalid_argument);
+    EXPECT_THROW(options.unsignedOr("inf", 0), std::invalid_argument);
+    try {
+        options.unsignedOr("events", 0);
+        FAIL() << "expected an out-of-range error";
+    } catch (const std::invalid_argument &error) {
+        EXPECT_NE(std::string(error.what()).find("out of range"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(OptionsTest, RejectsEmptyAndUnknownOptions)
 {
     EXPECT_THROW(Options::parse({"--"}), std::invalid_argument);
@@ -77,6 +101,29 @@ TEST(CliTest, UnknownCommandFails)
     std::string output;
     EXPECT_EQ(runCli({"frobnicate"}, &output), 2);
     EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, ThreadsOptionIsAcceptedEverywhereAndDeterministic)
+{
+    std::string serial, parallel;
+    EXPECT_EQ(runCli({"sensitivity", "--cpus", "8", "--threads", "1"},
+                     &serial),
+              0);
+    EXPECT_EQ(runCli({"sensitivity", "--cpus", "8", "--threads", "4"},
+                     &parallel),
+              0);
+    // The determinism guarantee, observed end to end: identical bytes.
+    EXPECT_EQ(serial, parallel);
+
+    std::string output;
+    EXPECT_EQ(runCli({"eval", "--cpus", "4", "--threads", "2"},
+                     &output),
+              0);
+
+    EXPECT_EQ(runCli({"eval", "--threads", "0"}, &output), 2);
+    EXPECT_NE(output.find("positive"), std::string::npos);
+
+    setThreadCount(0); // Back to the default for the other tests.
 }
 
 TEST(CliTest, EvalBusPrintsEveryScheme)

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/param_extractor.hh"
 #include "sim/mp/system.hh"
@@ -151,13 +152,19 @@ printUsage(std::ostream &out)
         "  network   compare circuit/packet/directory on a network\n"
         "            [--stages N (8)] [--switch K (2)] [--<param> v]\n"
         "  sensitivity  Table 8 sensitivity analysis\n"
-        "            [--cpus N (16)] [--grid]\n";
+        "            [--cpus N (16)] [--grid]\n"
+        "\n"
+        "global options:\n"
+        "  --threads N  worker threads for experiment grids (default:\n"
+        "            SWCC_THREADS env var, else hardware concurrency;\n"
+        "            results are bit-identical for any thread count)\n";
 }
 
 int
 cmdEval(const Options &options, std::ostream &out)
 {
-    options.requireKnown(withWorkload({"cpus", "network", "stages"}));
+    options.requireKnown(
+        withWorkload({"cpus", "network", "stages", "threads"}));
     const WorkloadParams params = workloadFromOptions(options);
     const unsigned cpus = options.unsignedOr("cpus", 8);
 
@@ -209,7 +216,7 @@ int
 cmdGen(const Options &options, std::ostream &out)
 {
     options.requireKnown({"profile", "cpus", "instructions", "seed",
-                          "flushes", "out"});
+                          "flushes", "out", "threads"});
     const AppProfile profile =
         profileFromName(options.valueOr("profile", "pops-like"));
     const SyntheticWorkloadConfig config = profileConfig(
@@ -229,7 +236,7 @@ cmdGen(const Options &options, std::ostream &out)
 int
 cmdStat(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"block"});
+    options.requireKnown({"block", "threads"});
     if (options.positional().empty()) {
         throw std::invalid_argument("stat needs a trace file");
     }
@@ -259,7 +266,8 @@ cmdStat(const Options &options, std::ostream &out)
 int
 cmdSim(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"scheme", "cache", "assoc", "block"});
+    options.requireKnown({"scheme", "cache", "assoc", "block",
+                          "threads"});
     if (options.positional().empty()) {
         throw std::invalid_argument("sim needs a trace file");
     }
@@ -303,7 +311,7 @@ int
 cmdValidate(const Options &options, std::ostream &out)
 {
     options.requireKnown({"profile", "scheme", "cpus", "instructions",
-                          "cache", "seed"});
+                          "cache", "seed", "threads"});
     ValidationConfig config;
     config.profile =
         profileFromName(options.valueOr("profile", "pops-like"));
@@ -329,8 +337,8 @@ cmdValidate(const Options &options, std::ostream &out)
 int
 cmdSweep(const Options &options, std::ostream &out)
 {
-    options.requireKnown(
-        withWorkload({"param", "from", "to", "points", "cpus"}));
+    options.requireKnown(withWorkload(
+        {"param", "from", "to", "points", "cpus", "threads"}));
     const auto param_name = options.value("param");
     if (!param_name) {
         throw std::invalid_argument("sweep needs --param");
@@ -368,7 +376,8 @@ cmdSweep(const Options &options, std::ostream &out)
 int
 cmdNetwork(const Options &options, std::ostream &out)
 {
-    options.requireKnown(withWorkload({"stages", "switch"}));
+    options.requireKnown(
+        withWorkload({"stages", "switch", "threads"}));
     const WorkloadParams params = workloadFromOptions(options);
     const unsigned k = options.unsignedOr("switch", 2);
     if (k < 2) {
@@ -421,7 +430,7 @@ cmdNetwork(const Options &options, std::ostream &out)
 int
 cmdSensitivity(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"cpus", "grid"});
+    options.requireKnown({"cpus", "grid", "threads"});
     SensitivityConfig config;
     config.processors = options.unsignedOr("cpus", 16);
     config.averageOverGrid = options.has("grid");
@@ -461,6 +470,14 @@ run(const std::vector<std::string> &args, std::ostream &out)
 
     try {
         const Options options = Options::parse(rest);
+        if (options.has("threads")) {
+            const unsigned threads = options.unsignedOr("threads", 0);
+            if (threads == 0) {
+                throw std::invalid_argument(
+                    "option --threads expects a positive integer");
+            }
+            setThreadCount(threads);
+        }
         if (command == "eval") {
             return cmdEval(options, out);
         }

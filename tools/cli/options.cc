@@ -1,6 +1,8 @@
 #include "cli/options.hh"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace swcc::cli
@@ -69,9 +71,18 @@ Options::unsignedOr(const std::string &name, unsigned fallback) const
 {
     const double parsed =
         numberOr(name, static_cast<double>(fallback));
-    if (parsed < 0.0 || parsed != static_cast<unsigned>(parsed)) {
+    // Range-check before any cast: converting a double above UINT_MAX
+    // (e.g. --events 5e9) to unsigned is undefined behavior.
+    if (!(parsed >= 0.0) || std::floor(parsed) != parsed) {
         throw std::invalid_argument(
             "option --" + name + " expects a non-negative integer");
+    }
+    constexpr double max =
+        static_cast<double>(std::numeric_limits<unsigned>::max());
+    if (parsed > max) {
+        throw std::invalid_argument(
+            "option --" + name + " is out of range (max " +
+            std::to_string(std::numeric_limits<unsigned>::max()) + ")");
     }
     return static_cast<unsigned>(parsed);
 }
