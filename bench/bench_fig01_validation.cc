@@ -9,8 +9,11 @@
  * exactly as in the paper.
  */
 
+#include <array>
 #include <iostream>
+#include <vector>
 
+#include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/validation.hh"
 
@@ -22,26 +25,41 @@ main()
     std::cout << "=== Figure 1: model vs simulation, Base & Dragon, "
                  "64KB caches ===\n\n";
 
+    constexpr std::array kSchemes{Scheme::Base, Scheme::Dragon};
+    constexpr CpuId kMaxCpus = 4;
+
     for (AppProfile profile : kAllProfiles) {
+        // All scheme x cpus cells of this profile are independent
+        // simulations; flatten them into one grid so the pool
+        // load-balances across the whole figure, then render serially.
+        const std::vector<ValidationPoint> points = parallelMapGrid(
+            kSchemes.size(), kMaxCpus,
+            [&](std::size_t row, std::size_t col) {
+                ValidationConfig config;
+                config.profile = profile;
+                config.scheme = kSchemes[row];
+                config.cacheBytes = 64 * 1024;
+                config.maxCpus = kMaxCpus;
+                config.instructionsPerCpu = 120'000;
+                config.seed = 1989;
+                return validatePoint(config,
+                                     static_cast<CpuId>(col + 1));
+            });
+
         TextTable table({"scheme", "cpus", "sim power", "model power",
                          "error %"});
         AsciiChart chart(56, 14);
-        for (Scheme scheme : {Scheme::Base, Scheme::Dragon}) {
-            ValidationConfig config;
-            config.profile = profile;
-            config.scheme = scheme;
-            config.cacheBytes = 64 * 1024;
-            config.maxCpus = 4;
-            config.instructionsPerCpu = 120'000;
-            config.seed = 1989;
-
+        for (std::size_t row = 0; row < kSchemes.size(); ++row) {
+            const Scheme scheme = kSchemes[row];
             Series sim_series, model_series;
             sim_series.label =
                 std::string(schemeName(scheme)) + " sim";
             model_series.label =
                 std::string(schemeName(scheme)) + " model";
 
-            for (const ValidationPoint &point : validate(config)) {
+            for (CpuId cpus = 1; cpus <= kMaxCpus; ++cpus) {
+                const ValidationPoint &point =
+                    points[row * kMaxCpus + cpus - 1];
                 table.addRow({std::string(schemeName(scheme)),
                               formatNumber(point.cpus, 0),
                               formatNumber(point.simPower, 3),

@@ -5,8 +5,11 @@
  * fewer processors (Figure 2) and eight or fewer (Figure 3).
  */
 
+#include <array>
 #include <iostream>
+#include <vector>
 
+#include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/validation.hh"
 
@@ -25,21 +28,33 @@ runFigure(const char *title, AppProfile profile, CpuId max_cpus,
                      "error %", "msdat", "mains"});
     AsciiChart chart(56, 14);
 
-    for (std::size_t cache_kb : {16u, 64u, 256u}) {
-        ValidationConfig config;
-        config.profile = profile;
-        config.scheme = Scheme::Dragon;
-        config.cacheBytes = cache_kb * 1024;
-        config.maxCpus = max_cpus;
-        config.instructionsPerCpu = instructions;
-        config.seed = 23;
+    // Cache-size rows take very different times (256K simulates the
+    // same trace against 4x the sets of 64K), so flatten the size x
+    // cpus grid into one index space and let the pool balance it.
+    constexpr std::array kCacheKb{16u, 64u, 256u};
+    const std::vector<ValidationPoint> points = parallelMapGrid(
+        kCacheKb.size(), max_cpus,
+        [&](std::size_t row, std::size_t col) {
+            ValidationConfig config;
+            config.profile = profile;
+            config.scheme = Scheme::Dragon;
+            config.cacheBytes = kCacheKb[row] * std::size_t{1024};
+            config.maxCpus = max_cpus;
+            config.instructionsPerCpu = instructions;
+            config.seed = 23;
+            return validatePoint(config, static_cast<CpuId>(col + 1));
+        });
 
+    for (std::size_t row = 0; row < kCacheKb.size(); ++row) {
+        const unsigned cache_kb = kCacheKb[row];
         Series sim_series;
         sim_series.label = std::to_string(cache_kb) + "K sim";
         Series model_series;
         model_series.label = std::to_string(cache_kb) + "K model";
 
-        for (const ValidationPoint &point : validate(config)) {
+        for (CpuId cpus = 1; cpus <= max_cpus; ++cpus) {
+            const ValidationPoint &point =
+                points[row * max_cpus + cpus - 1];
             table.addRow(
                 {std::to_string(cache_kb) + "K",
                  formatNumber(point.cpus, 0),

@@ -1,15 +1,36 @@
 /**
  * @file
- * google-benchmark timings for the trace generator, the
- * multiprocessor simulator, and the omega-network simulator.
+ * Before/after performance harness for the trace-driven simulator.
+ *
+ * Section 1 times every coherence protocol on a sharing-heavy
+ * pero-like 16-CPU workload twice — once forced onto the retained
+ * pre-optimisation reference snoop path (O(P) scans over all caches)
+ * and once on the sharer-index directory path — asserting that the two
+ * runs produce byte-identical SimStats before reporting events/sec and
+ * the speedup. Section 2 times a Dragon validation sweep at one thread
+ * versus all hardware threads, asserting the per-point statistics are
+ * byte-identical across thread counts.
+ *
+ * The per-scheme table lands in bench_results/perf_simulator_speedup.csv.
+ * Any statistics divergence makes the process exit non-zero, which is
+ * how the `--smoke` ctest target (a scaled-down run of the same
+ * checks) turns a snoop-path or determinism regression into a test
+ * failure.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "core/parallel.hh"
 #include "core/swcc.hh"
-#include "sim/mp/param_extractor.hh"
+#include "sim/cache/invalidate_protocol.hh"
 #include "sim/mp/system.hh"
-#include "sim/net/omega_network.hh"
+#include "sim/mp/validation.hh"
 #include "sim/synth/app_profiles.hh"
 #include "sim/synth/trace_generator.hh"
 
@@ -18,87 +39,218 @@ namespace
 
 using namespace swcc;
 
-const TraceBuffer &
-sharedTrace()
+/** Scaled-down --smoke run for ctest; full run for reporting. */
+struct HarnessConfig
 {
-    static const TraceBuffer trace = generateTrace(
-        profileConfig(AppProfile::PopsLike, 4, 50'000, 3, true));
-    return trace;
-}
+    std::size_t instructionsPerCpu = 40'000;
+    CpuId cpus = 16;
+    int reps = 3;
+    CpuId sweepMaxCpus = 6;
+    std::size_t sweepInstructions = 30'000;
+};
 
-CacheConfig
-cache64k()
+/** Wall-clock seconds of @p body, best of @p reps runs. */
+template <typename Body>
+double
+bestOf(int reps, Body &&body)
 {
-    CacheConfig config;
-    config.sizeBytes = 64 * 1024;
-    config.blockBytes = 16;
-    return config;
-}
-
-void
-BM_TraceGeneration(benchmark::State &state)
-{
-    const auto cpus = static_cast<unsigned>(state.range(0));
-    std::uint64_t events = 0;
-    for (auto _ : state) {
-        const TraceBuffer trace = generateTrace(
-            profileConfig(AppProfile::PopsLike, cpus, 20'000, 5, false));
-        events += trace.size();
-        benchmark::DoNotOptimize(trace.size());
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto start = clock::now();
+        body();
+        const std::chrono::duration<double> elapsed =
+            clock::now() - start;
+        best = std::min(best, elapsed.count());
     }
-    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    return best;
 }
-BENCHMARK(BM_TraceGeneration)->Arg(2)->Arg(4)->Arg(8);
 
-void
-BM_Simulation(benchmark::State &state)
+/** One protocol under test; factory builds a cold system per run. */
+struct SchemeCase
 {
-    const Scheme scheme = static_cast<Scheme>(state.range(0));
-    const TraceBuffer &trace = sharedTrace();
-    const SharedClassifier shared =
-        profileConfig(AppProfile::PopsLike, 4, 1, 1, false)
-            .sharedClassifier();
-    std::uint64_t events = 0;
-    for (auto _ : state) {
-        MultiprocessorSystem system(scheme, cache64k(), 4, shared);
-        benchmark::DoNotOptimize(system.run(trace).makespan);
-        events += trace.size();
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(events));
-    state.SetLabel(std::string(schemeName(scheme)));
-}
-BENCHMARK(BM_Simulation)->DenseRange(0, 3);
+    std::string name;
+    const TraceBuffer *trace = nullptr;
+    std::function<std::unique_ptr<MultiprocessorSystem>()> make;
+};
 
-void
-BM_ParameterExtraction(benchmark::State &state)
+/** Statistics and best-of timing of one (scheme, snoop path) cell. */
+struct PathResult
 {
-    const TraceBuffer &trace = sharedTrace();
-    const SharedClassifier shared =
-        profileConfig(AppProfile::PopsLike, 4, 1, 1, false)
-            .sharedClassifier();
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            extractParams(trace, cache64k(), shared).params.ls);
-    }
-}
-BENCHMARK(BM_ParameterExtraction);
+    std::string serialized;
+    double seconds = 0.0;
+};
 
-void
-BM_OmegaNetwork(benchmark::State &state)
+PathResult
+runPath(const SchemeCase &scheme_case, SnoopPath path, int reps)
 {
-    const unsigned stages = static_cast<unsigned>(state.range(0));
-    std::uint64_t cycles = 0;
-    for (auto _ : state) {
-        OmegaConfig config;
-        config.stages = stages;
-        config.meanThink = 25.0;
-        config.messageCycles = 12.0;
-        OmegaNetwork network(config);
-        benchmark::DoNotOptimize(network.run(5'000).accepted);
-        cycles += 5'000;
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+    PathResult result;
+    // Every reference (including the timed ones) constructs a fresh
+    // system: caches must be cold, and construction cost is noise next
+    // to replaying the trace.
+    result.serialized = [&] {
+        auto system = scheme_case.make();
+        system->setSnoopPath(path);
+        return system->run(*scheme_case.trace).serialize();
+    }();
+    result.seconds = bestOf(reps, [&] {
+        auto system = scheme_case.make();
+        system->setSnoopPath(path);
+        system->run(*scheme_case.trace);
+    });
+    return result;
 }
-BENCHMARK(BM_OmegaNetwork)->Arg(4)->Arg(6)->Arg(8);
+
+/** Per-scheme reference-vs-directory table; true if all stats match. */
+bool
+reportSnoopPathSpeedup(const HarnessConfig &config)
+{
+    std::cout << "=== Simulator snoop path: reference scan vs "
+                 "sharer-index directory ===\n"
+              << "(pero-like workload, "
+              << static_cast<unsigned>(config.cpus) << " CPUs, "
+              << config.instructionsPerCpu
+              << " instructions per CPU, 64KB caches)\n\n";
+
+    // The sharing-heavy pero-like profile stresses the snoop paths the
+    // hardest: broadcasts and coherence misses dominate, so every
+    // event used to pay O(P) cache scans.
+    const SyntheticWorkloadConfig hw_workload =
+        profileConfig(AppProfile::PeroLike, config.cpus,
+                      config.instructionsPerCpu, 55, false);
+    const TraceBuffer hw_trace = generateTrace(hw_workload);
+    const SharedClassifier shared = hw_workload.sharedClassifier();
+    const TraceBuffer sw_trace = generateTrace(
+        profileConfig(AppProfile::PeroLike, config.cpus,
+                      config.instructionsPerCpu, 55, true));
+
+    CacheConfig cache;
+    cache.sizeBytes = 64 * 1024;
+    cache.blockBytes = 16;
+
+    const auto paper = [&](Scheme scheme, const TraceBuffer &trace) {
+        return SchemeCase{
+            std::string(schemeName(scheme)), &trace, [&, scheme] {
+                return std::make_unique<MultiprocessorSystem>(
+                    scheme, cache, config.cpus, shared);
+            }};
+    };
+    const std::vector<SchemeCase> cases{
+        paper(Scheme::Base, hw_trace),
+        paper(Scheme::NoCache, hw_trace),
+        paper(Scheme::SoftwareFlush, sw_trace),
+        paper(Scheme::Dragon, hw_trace),
+        SchemeCase{"invalidate", &hw_trace, [&] {
+            return std::make_unique<MultiprocessorSystem>(
+                std::make_unique<InvalidateProtocol>(cache,
+                                                     config.cpus));
+        }},
+    };
+
+    TextTable table({"scheme", "events", "reference ms", "directory ms",
+                     "ref Mev/s", "dir Mev/s", "speedup", "identical"});
+    bool all_identical = true;
+    for (const SchemeCase &scheme_case : cases) {
+        const PathResult reference =
+            runPath(scheme_case, SnoopPath::ReferenceScan, config.reps);
+        const PathResult directory =
+            runPath(scheme_case, SnoopPath::Directory, config.reps);
+        const bool identical =
+            reference.serialized == directory.serialized;
+        all_identical = all_identical && identical;
+
+        const auto events =
+            static_cast<double>(scheme_case.trace->size());
+        table.addRow(
+            {scheme_case.name, formatNumber(events, 0),
+             formatNumber(reference.seconds * 1e3, 1),
+             formatNumber(directory.seconds * 1e3, 1),
+             formatNumber(events / reference.seconds / 1e6, 2),
+             formatNumber(events / directory.seconds / 1e6, 2),
+             formatNumber(reference.seconds / directory.seconds, 2) +
+                 "x",
+             identical ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << '\n' << exportCsv(table, "perf_simulator_speedup")
+              << " written\n";
+    return all_identical;
+}
+
+/** Serial-vs-parallel sweep timing; true if stats thread-invariant. */
+bool
+reportSweepSpeedup(const HarnessConfig &config)
+{
+    const unsigned parallel_threads = std::max(4u, hardwareThreads());
+    std::cout << "\n=== Simulation sweep: 1 thread vs "
+              << parallel_threads << " threads ===\n"
+              << "(Dragon validation sweep, 1.."
+              << static_cast<unsigned>(config.sweepMaxCpus)
+              << " CPUs)\n\n";
+
+    ValidationConfig sweep;
+    sweep.profile = AppProfile::PeroLike;
+    sweep.scheme = Scheme::Dragon;
+    sweep.maxCpus = config.sweepMaxCpus;
+    sweep.instructionsPerCpu = config.sweepInstructions;
+    sweep.seed = 1989;
+
+    const auto serialized_sweep = [&] {
+        std::vector<std::string> result;
+        for (const ValidationPoint &point : validate(sweep)) {
+            result.push_back(point.sim.serialize());
+        }
+        return result;
+    };
+
+    setThreadCount(1);
+    const std::vector<std::string> serial_stats = serialized_sweep();
+    const double serial = bestOf(config.reps, [&] { validate(sweep); });
+    setThreadCount(parallel_threads);
+    const std::vector<std::string> parallel_stats = serialized_sweep();
+    const double parallel =
+        bestOf(config.reps, [&] { validate(sweep); });
+    setThreadCount(0);
+
+    const bool identical = serial_stats == parallel_stats;
+    TextTable table({"serial ms", "parallel ms", "speedup", "threads",
+                     "identical"});
+    table.addRow({formatNumber(serial * 1e3, 1),
+                  formatNumber(parallel * 1e3, 1),
+                  formatNumber(serial / parallel, 2) + "x",
+                  std::to_string(parallel_threads),
+                  identical ? "yes" : "NO"});
+    table.print(std::cout);
+    return identical;
+}
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    HarnessConfig config;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            config.instructionsPerCpu = 3'000;
+            config.cpus = 8;
+            config.reps = 1;
+            config.sweepMaxCpus = 4;
+            config.sweepInstructions = 5'000;
+        } else {
+            std::cerr << "usage: bench_perf_simulator [--smoke]\n";
+            return 1;
+        }
+    }
+
+    const bool paths_ok = reportSnoopPathSpeedup(config);
+    const bool sweep_ok = reportSweepSpeedup(config);
+    if (!paths_ok || !sweep_ok) {
+        std::cerr << "\nFAIL: statistics diverged between snoop paths "
+                     "or thread counts\n";
+        return 1;
+    }
+    std::cout << "\nAll statistics byte-identical across snoop paths "
+                 "and thread counts.\n";
+    return 0;
+}

@@ -8,8 +8,11 @@
  * the same way as Base and Dragon.
  */
 
+#include <array>
 #include <iostream>
+#include <vector>
 
+#include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/validation.hh"
 
@@ -21,26 +24,37 @@ main()
     std::cout << "=== X2: software-scheme validation (64KB caches) "
                  "===\n\n";
 
+    constexpr std::array kSchemes{Scheme::SoftwareFlush,
+                                  Scheme::NoCache};
+    constexpr CpuId kMaxCpus = 4;
+
     for (AppProfile profile :
          {AppProfile::PopsLike, AppProfile::PeroLike}) {
+        // Flatten the scheme x cpus cells into one grid so the pool
+        // balances across both schemes, then render in row order.
+        const std::vector<ValidationPoint> points = parallelMapGrid(
+            kSchemes.size(), kMaxCpus,
+            [&](std::size_t row, std::size_t col) {
+                ValidationConfig config;
+                config.profile = profile;
+                config.scheme = kSchemes[row];
+                config.cacheBytes = 64 * 1024;
+                config.maxCpus = kMaxCpus;
+                config.instructionsPerCpu = 120'000;
+                config.seed = 77;
+                return validatePoint(config,
+                                     static_cast<CpuId>(col + 1));
+            });
+
         std::cout << "--- " << profileName(profile) << " ---\n";
         TextTable table({"scheme", "cpus", "sim power", "model power",
                          "error %"});
-        for (Scheme scheme : {Scheme::SoftwareFlush, Scheme::NoCache}) {
-            ValidationConfig config;
-            config.profile = profile;
-            config.scheme = scheme;
-            config.cacheBytes = 64 * 1024;
-            config.maxCpus = 4;
-            config.instructionsPerCpu = 120'000;
-            config.seed = 77;
-            for (const ValidationPoint &point : validate(config)) {
-                table.addRow({std::string(schemeName(scheme)),
-                              formatNumber(point.cpus, 0),
-                              formatNumber(point.simPower, 3),
-                              formatNumber(point.modelPower, 3),
-                              formatNumber(point.errorPercent(), 1)});
-            }
+        for (const ValidationPoint &point : points) {
+            table.addRow({std::string(schemeName(point.scheme)),
+                          formatNumber(point.cpus, 0),
+                          formatNumber(point.simPower, 3),
+                          formatNumber(point.modelPower, 3),
+                          formatNumber(point.errorPercent(), 1)});
         }
         table.print(std::cout);
         std::cout << '\n';
@@ -56,8 +70,8 @@ main()
     config.maxCpus = 4;
     config.instructionsPerCpu = 120'000;
     config.seed = 77;
-    const auto points = validate(config);
-    const SimStats &stats = points.back().sim;
+    const ValidationPoint point = validatePoint(config, config.maxCpus);
+    const SimStats &stats = point.sim;
     TextTable flush_table({"quantity", "value"});
     flush_table.addRow(
         {"flush instructions",

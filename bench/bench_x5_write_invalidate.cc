@@ -8,12 +8,27 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/cache/invalidate_protocol.hh"
 #include "sim/mp/system.hh"
 #include "sim/synth/app_profiles.hh"
 #include "sim/synth/trace_generator.hh"
+
+namespace
+{
+
+/** Both protocols simulated on one profile's trace. */
+struct ProfileComparison
+{
+    swcc::SimStats dragon;
+    swcc::SimStats inval;
+    swcc::InvalidateMeasurements measured;
+};
+
+} // namespace
 
 int
 main()
@@ -24,39 +39,50 @@ main()
                  "snooping ===\n\n";
 
     std::cout << "Simulator, 4 CPUs, 64KB caches:\n\n";
+
+    // Each profile's Dragon + Invalidate pair shares a trace, so the
+    // profile is the natural parallel unit; slots come back in
+    // kAllProfiles order regardless of which finishes first.
+    const std::vector<ProfileComparison> comparisons = parallelMap(
+        kAllProfiles.size(), [&](std::size_t i) {
+            const SyntheticWorkloadConfig workload =
+                profileConfig(kAllProfiles[i], 4, 120'000, 55, false);
+            const TraceBuffer trace = generateTrace(workload);
+
+            CacheConfig cache;
+            cache.sizeBytes = 64 * 1024;
+            cache.blockBytes = 16;
+
+            ProfileComparison result;
+            MultiprocessorSystem dragon_system(Scheme::Dragon, cache,
+                                               4);
+            result.dragon = dragon_system.run(trace);
+
+            auto protocol =
+                std::make_unique<InvalidateProtocol>(cache, 4);
+            const InvalidateProtocol &inval_protocol = *protocol;
+            MultiprocessorSystem inval_system(std::move(protocol));
+            result.inval = inval_system.run(trace);
+            result.measured = inval_protocol.measurements();
+            return result;
+        });
+
     TextTable sim_table({"profile", "Dragon power", "Invalidate power",
                          "Dragon bus ops", "Invalidate bus ops",
                          "coherence misses", "measured reref"});
-    for (AppProfile profile : kAllProfiles) {
-        const SyntheticWorkloadConfig workload =
-            profileConfig(profile, 4, 120'000, 55, false);
-        const TraceBuffer trace = generateTrace(workload);
-
-        CacheConfig cache;
-        cache.sizeBytes = 64 * 1024;
-        cache.blockBytes = 16;
-
-        MultiprocessorSystem dragon_system(Scheme::Dragon, cache, 4);
-        const SimStats dragon = dragon_system.run(trace);
-
-        auto protocol =
-            std::make_unique<InvalidateProtocol>(cache, 4);
-        const InvalidateProtocol &inval_protocol = *protocol;
-        MultiprocessorSystem inval_system(std::move(protocol));
-        const SimStats inval = inval_system.run(trace);
-
+    for (std::size_t i = 0; i < kAllProfiles.size(); ++i) {
+        const ProfileComparison &result = comparisons[i];
         sim_table.addRow(
-            {std::string(profileName(profile)),
-             formatNumber(dragon.processingPower(), 3),
-             formatNumber(inval.processingPower(), 3),
+            {std::string(profileName(kAllProfiles[i])),
+             formatNumber(result.dragon.processingPower(), 3),
+             formatNumber(result.inval.processingPower(), 3),
              formatNumber(static_cast<double>(
-                 dragon.opCount(Operation::WriteBroadcast)), 0),
+                 result.dragon.opCount(Operation::WriteBroadcast)), 0),
              formatNumber(static_cast<double>(
-                 inval.opCount(Operation::WriteBroadcast)), 0),
+                 result.inval.opCount(Operation::WriteBroadcast)), 0),
              formatNumber(static_cast<double>(
-                 inval_protocol.measurements().coherenceMisses), 0),
-             formatNumber(
-                 inval_protocol.measurements().rerefFraction(), 3)});
+                 result.measured.coherenceMisses), 0),
+             formatNumber(result.measured.rerefFraction(), 3)});
     }
     sim_table.print(std::cout);
 

@@ -153,6 +153,29 @@ parallelMap(std::size_t n, Fn &&fn)
     return out;
 }
 
+/**
+ * Two-dimensional parallelMap: slot row * cols + col of the returned
+ * row-major vector holds fn(row, col). All cells share one flattened
+ * index space, so a grid of uneven rows (e.g. a cache-size sweep whose
+ * larger configurations simulate more slowly) still load-balances
+ * across the pool, and the output layout — hence the result — is
+ * independent of the thread count.
+ */
+template <typename Fn>
+auto
+parallelMapGrid(std::size_t rows, std::size_t cols, Fn &&fn)
+    -> std::vector<std::decay_t<
+        std::invoke_result_t<Fn &, std::size_t, std::size_t>>>
+{
+    std::vector<std::decay_t<
+        std::invoke_result_t<Fn &, std::size_t, std::size_t>>>
+        out(rows * cols);
+    parallelFor(rows * cols, [&](std::size_t i) {
+        out[i] = fn(i / cols, i % cols);
+    });
+    return out;
+}
+
 } // namespace swcc
 
 #endif // SWCC_CORE_PARALLEL_HH

@@ -25,9 +25,9 @@ BaseProtocol::access(CpuId cpu, RefType type, Addr addr, AccessResult &out)
     const bool dirty_victim = evict(cpu, victim);
     out.addOp(dirty_victim ? Operation::DirtyMissMem
                            : Operation::CleanMissMem);
-    cache.fill(victim, addr,
-               type == RefType::Store ? LineState::Dirty
-                                      : LineState::Exclusive);
+    fillLine(cpu, victim, addr,
+             type == RefType::Store ? LineState::Dirty
+                                    : LineState::Exclusive);
 }
 
 } // namespace swcc

@@ -10,34 +10,11 @@ Cache::Cache(const CacheConfig &config)
 {
     config_.validate();
     lines_.resize(config_.numLines());
-}
-
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<std::size_t>(
-        (addr / config_.blockBytes) % config_.numSets());
-}
-
-CacheLine *
-Cache::find(Addr addr)
-{
-    const Addr block = blockAddr(addr);
-    const std::size_t set = setIndex(addr);
-    const std::size_t base = set * config_.associativity;
-    for (std::size_t way = 0; way < config_.associativity; ++way) {
-        CacheLine &line = lines_[base + way];
-        if (isValidState(line.state) && line.blockAddr == block) {
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
-const CacheLine *
-Cache::find(Addr addr) const
-{
-    return const_cast<Cache *>(this)->find(addr);
+    tags_.assign(config_.numLines(), kInvalidTag);
+    blockMask_ = ~static_cast<Addr>(config_.blockBytes - 1);
+    blockShift_ = config_.blockShift();
+    setMask_ = config_.setMask();
+    assoc_ = config_.associativity;
 }
 
 void
@@ -49,14 +26,13 @@ Cache::touch(CacheLine &line)
 CacheLine &
 Cache::victimFor(Addr addr)
 {
-    const std::size_t set = setIndex(addr);
-    const std::size_t base = set * config_.associativity;
+    const std::size_t base = setBase(addr);
     CacheLine *victim = &lines_[base];
-    for (std::size_t way = 0; way < config_.associativity; ++way) {
-        CacheLine &line = lines_[base + way];
-        if (!isValidState(line.state)) {
-            return line;
+    for (std::size_t way = 0; way < assoc_; ++way) {
+        if (tags_[base + way] == kInvalidTag) {
+            return lines_[base + way];
         }
+        CacheLine &line = lines_[base + way];
         if (line.lastUse < victim->lastUse) {
             victim = &line;
         }
@@ -67,8 +43,10 @@ Cache::victimFor(Addr addr)
 void
 Cache::fill(CacheLine &victim, Addr addr, LineState state)
 {
-    victim.blockAddr = blockAddr(addr);
+    victim.blockAddr = addr & blockMask_;
     victim.state = state;
+    tags_[static_cast<std::size_t>(&victim - lines_.data())] =
+        victim.blockAddr;
     touch(victim);
 }
 
@@ -76,6 +54,7 @@ void
 Cache::invalidate(CacheLine &line)
 {
     line.state = LineState::Invalid;
+    tags_[static_cast<std::size_t>(&line - lines_.data())] = kInvalidTag;
 }
 
 std::size_t

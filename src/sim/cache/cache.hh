@@ -67,6 +67,12 @@ struct CacheLine
  * Purely structural: protocols decide state transitions; the cache
  * provides lookup, LRU victim selection, and iteration for invariant
  * checking.
+ *
+ * Address decomposition is shift/mask only (the power-of-two geometry
+ * is enforced by CacheConfig::validate()), and a dense per-set tag
+ * array shadows the line array so find() is a branch-light compare
+ * loop: invalid ways carry a sentinel tag that no block-aligned
+ * address can equal.
  */
 class Cache
 {
@@ -81,15 +87,31 @@ class Cache
     Addr
     blockAddr(Addr addr) const
     {
-        return addr & ~static_cast<Addr>(config_.blockBytes - 1);
+        return addr & blockMask_;
     }
 
     /**
      * Finds the valid line holding @p addr's block, or nullptr.
      * Does not update LRU state; call touch() on a hit.
      */
-    CacheLine *find(Addr addr);
-    const CacheLine *find(Addr addr) const;
+    CacheLine *
+    find(Addr addr)
+    {
+        const Addr tag = addr & blockMask_;
+        const std::size_t base = setBase(addr);
+        for (std::size_t way = 0; way < assoc_; ++way) {
+            if (tags_[base + way] == tag) {
+                return &lines_[base + way];
+            }
+        }
+        return nullptr;
+    }
+
+    const CacheLine *
+    find(Addr addr) const
+    {
+        return const_cast<Cache *>(this)->find(addr);
+    }
 
     /** Marks a line most recently used. */
     void touch(CacheLine &line);
@@ -119,11 +141,26 @@ class Cache
     std::size_t validLines() const;
 
   private:
-    std::size_t setIndex(Addr addr) const;
+    /** Tag value of invalid ways; never block-aligned for real blocks. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
+    /** First line index of @p addr's set. */
+    std::size_t
+    setBase(Addr addr) const
+    {
+        return ((static_cast<std::size_t>(addr >> blockShift_)) &
+                setMask_) * assoc_;
+    }
 
     CacheConfig config_;
     std::vector<CacheLine> lines_;
+    /** tags_[i] == lines_[i].blockAddr for valid ways, else sentinel. */
+    std::vector<Addr> tags_;
     std::uint64_t useCounter_ = 0;
+    Addr blockMask_ = 0;
+    unsigned blockShift_ = 0;
+    std::size_t setMask_ = 0;
+    std::size_t assoc_ = 1;
 };
 
 } // namespace swcc

@@ -6,6 +6,7 @@
 #ifndef SWCC_SIM_CACHE_CACHE_CONFIG_HH
 #define SWCC_SIM_CACHE_CACHE_CONFIG_HH
 
+#include <bit>
 #include <cstddef>
 #include <stdexcept>
 
@@ -19,6 +20,11 @@ namespace swcc
  * 16K, 64K and 256K bytes with 16-byte blocks; associativity is
  * configurable here with a direct-mapped default, typical of the
  * period's machines.
+ *
+ * All sizes are powers of two (enforced by validate()), so address
+ * decomposition never divides: the block offset is a shift by
+ * blockShift() and the set index a mask with setMask(). The simulator
+ * hot path relies on this invariant.
  */
 struct CacheConfig
 {
@@ -40,8 +46,26 @@ struct CacheConfig
         return sizeBytes / blockBytes;
     }
 
+    /** log2(blockBytes): shift that strips the block offset. */
+    unsigned
+    blockShift() const
+    {
+        return static_cast<unsigned>(std::countr_zero(blockBytes));
+    }
+
+    /** numSets() - 1: mask that extracts the set index. */
+    std::size_t
+    setMask() const
+    {
+        return numSets() - 1;
+    }
+
     /**
      * Checks that sizes are powers of two and consistent.
+     *
+     * The power-of-two requirements are not merely conventional: the
+     * cache's shift/mask address decomposition (blockShift()/setMask())
+     * is only correct for power-of-two block sizes and set counts.
      *
      * @throws std::invalid_argument on a malformed geometry.
      */

@@ -56,6 +56,32 @@ CoherenceProtocol::CoherenceProtocol(const CacheConfig &cache_config,
     for (CpuId i = 0; i < num_cpus; ++i) {
         caches_.emplace_back(cache_config);
     }
+    useDirectory_ = num_cpus <= kMaxDirectoryCpus;
+    if (useDirectory_) {
+        // Worst case: every line of every cache holds a distinct
+        // block. Sizing for it up front means the map never rehashes.
+        directory_ = HolderMap(static_cast<std::size_t>(num_cpus) *
+                               caches_.front().lines().size());
+    }
+}
+
+void
+CoherenceProtocol::setSnoopPath(SnoopPath path)
+{
+    for (const Cache &cache : caches_) {
+        if (cache.validLines() != 0) {
+            throw std::logic_error(
+                "setSnoopPath() requires a cold system");
+        }
+    }
+    useDirectory_ = path == SnoopPath::Directory &&
+        numCpus() <= kMaxDirectoryCpus;
+}
+
+CoherenceProtocol::HolderMask
+CoherenceProtocol::holderMask(Addr block) const
+{
+    return directory_.mask(block);
 }
 
 bool
@@ -65,8 +91,70 @@ CoherenceProtocol::evict(CpuId cpu, CacheLine &victim)
         return false;
     }
     const bool dirty = isDirtyState(victim.state);
-    caches_[cpu].invalidate(victim);
+    invalidateLine(cpu, victim);
     return dirty;
+}
+
+void
+CoherenceProtocol::fillLine(CpuId cpu, CacheLine &victim, Addr addr,
+                            LineState state)
+{
+    caches_[cpu].fill(victim, addr, state);
+    if (useDirectory_) {
+        directory_.setBit(victim.blockAddr, cpu);
+    }
+}
+
+void
+CoherenceProtocol::invalidateLine(CpuId cpu, CacheLine &line)
+{
+    if (useDirectory_ && isValidState(line.state)) {
+        directory_.clearBit(line.blockAddr, cpu);
+    }
+    caches_[cpu].invalidate(line);
+}
+
+bool
+CoherenceProtocol::dirtyElsewhere(CpuId cpu, Addr block) const
+{
+    if (useDirectory_) {
+        HolderMask mask = directory_.mask(block) & ~cpuBit(cpu);
+        while (mask != 0) {
+            const auto other = static_cast<CpuId>(std::countr_zero(mask));
+            mask &= mask - 1;
+            const CacheLine *line = caches_[other].find(block);
+            if (line != nullptr && isDirtyState(line->state)) {
+                return true;
+            }
+        }
+        return false;
+    }
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other == cpu) {
+            continue;
+        }
+        const CacheLine *line = caches_[other].find(block);
+        if (line != nullptr && isDirtyState(line->state)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+CoherenceProtocol::countOtherHolders(CpuId cpu, Addr block) const
+{
+    if (useDirectory_) {
+        return static_cast<unsigned>(
+            std::popcount(directory_.mask(block) & ~cpuBit(cpu)));
+    }
+    unsigned holders = 0;
+    for (CpuId other = 0; other < numCpus(); ++other) {
+        if (other != cpu && caches_[other].find(block) != nullptr) {
+            ++holders;
+        }
+    }
+    return holders;
 }
 
 void
@@ -77,6 +165,7 @@ checkCoherenceInvariants(const CoherenceProtocol &protocol)
         unsigned holders = 0;
         unsigned owners = 0;
         unsigned exclusives = 0;
+        CoherenceProtocol::HolderMask mask = 0;
     };
     std::unordered_map<Addr, BlockView> blocks;
 
@@ -87,6 +176,7 @@ checkCoherenceInvariants(const CoherenceProtocol &protocol)
             }
             BlockView &view = blocks[line.blockAddr];
             ++view.holders;
+            view.mask |= CoherenceProtocol::HolderMask{1} << cpu;
             if (isDirtyState(line.state)) {
                 ++view.owners;
             }
@@ -108,6 +198,23 @@ checkCoherenceInvariants(const CoherenceProtocol &protocol)
             throw std::logic_error(
                 "block " + std::to_string(addr) + " has " +
                 std::to_string(view.owners) + " dirty owners");
+        }
+    }
+
+    if (protocol.snoopPath() == SnoopPath::Directory) {
+        if (protocol.directoryBlocks() != blocks.size()) {
+            throw std::logic_error(
+                "sharer index tracks " +
+                std::to_string(protocol.directoryBlocks()) +
+                " blocks but the caches hold " +
+                std::to_string(blocks.size()));
+        }
+        for (const auto &[addr, view] : blocks) {
+            if (protocol.holderMask(addr) != view.mask) {
+                throw std::logic_error(
+                    "sharer index disagrees with the caches on block " +
+                    std::to_string(addr));
+            }
         }
     }
 }

@@ -41,33 +41,6 @@ DragonProtocol::DragonProtocol(const CacheConfig &cache_config,
 {
 }
 
-unsigned
-DragonProtocol::countOtherHolders(CpuId cpu, Addr block) const
-{
-    unsigned holders = 0;
-    for (CpuId other = 0; other < numCpus(); ++other) {
-        if (other != cpu && caches_[other].find(block) != nullptr) {
-            ++holders;
-        }
-    }
-    return holders;
-}
-
-bool
-DragonProtocol::dirtyElsewhere(CpuId cpu, Addr block) const
-{
-    for (CpuId other = 0; other < numCpus(); ++other) {
-        if (other == cpu) {
-            continue;
-        }
-        const CacheLine *line = caches_[other].find(block);
-        if (line != nullptr && isDirtyState(line->state)) {
-            return true;
-        }
-    }
-    return false;
-}
-
 CacheLine &
 DragonProtocol::handleMiss(CpuId cpu, Addr addr, AccessResult &out)
 {
@@ -79,25 +52,18 @@ DragonProtocol::handleMiss(CpuId cpu, Addr addr, AccessResult &out)
 
     const bool supplied_by_cache = dirtyElsewhere(cpu, block);
     unsigned holders = 0;
-    for (CpuId other = 0; other < numCpus(); ++other) {
-        if (other == cpu) {
-            continue;
-        }
-        Cache &other_cache = caches_[other];
-        // Safe: victim was invalidated above, so find() can't alias it.
-        CacheLine *line = other_cache.find(block);
-        if (line == nullptr) {
-            continue;
-        }
+    // Safe: victim was invalidated above, so the holder walk can't
+    // alias it.
+    forEachOtherHolder(cpu, block, [&](CpuId, CacheLine &line) {
         ++holders;
         // Everyone sees the fill on the bus and knows the block is now
         // shared. Dirty owners keep ownership (they supplied the data).
-        if (line->state == LineState::Exclusive) {
-            line->state = LineState::SharedClean;
-        } else if (line->state == LineState::Dirty) {
-            line->state = LineState::SharedDirty;
+        if (line.state == LineState::Exclusive) {
+            line.state = LineState::SharedClean;
+        } else if (line.state == LineState::Dirty) {
+            line.state = LineState::SharedDirty;
         }
-    }
+    });
 
     if (supplied_by_cache) {
         out.addOp(dirty_victim ? Operation::DirtyMissCache
@@ -107,9 +73,9 @@ DragonProtocol::handleMiss(CpuId cpu, Addr addr, AccessResult &out)
                                : Operation::CleanMissMem);
     }
 
-    cache.fill(victim, addr,
-               holders > 0 ? LineState::SharedClean
-                           : LineState::Exclusive);
+    fillLine(cpu, victim, addr,
+             holders > 0 ? LineState::SharedClean
+                         : LineState::Exclusive);
     return victim;
 }
 
@@ -121,20 +87,13 @@ DragonProtocol::broadcast(CpuId cpu, CacheLine &line, AccessResult &out)
     ++measured_.broadcasts;
 
     unsigned holders = 0;
-    for (CpuId other = 0; other < numCpus(); ++other) {
-        if (other == cpu) {
-            continue;
-        }
-        CacheLine *copy = caches_[other].find(block);
-        if (copy == nullptr) {
-            continue;
-        }
+    forEachOtherHolder(cpu, block, [&](CpuId other, CacheLine &copy) {
         ++holders;
         // The holder's controller updates the word in place, stealing a
         // cycle from its processor; a previous owner loses ownership.
         out.steals.push_back(other);
-        copy->state = LineState::SharedClean;
-    }
+        copy.state = LineState::SharedClean;
+    });
     measured_.broadcastCopies += holders;
 
     line.state = holders > 0 ? LineState::SharedDirty : LineState::Dirty;

@@ -74,12 +74,6 @@ class DragonProtocol : public CoherenceProtocol
     const DragonMeasurements &measurements() const { return measured_; }
 
   private:
-    /** Other caches currently holding @p block (excluding @p cpu). */
-    unsigned countOtherHolders(CpuId cpu, Addr block) const;
-
-    /** True if another cache holds @p block dirty. */
-    bool dirtyElsewhere(CpuId cpu, Addr block) const;
-
     /** Handles a load/ifetch/store miss; returns the installed line. */
     CacheLine &handleMiss(CpuId cpu, Addr addr, AccessResult &out);
 

@@ -34,21 +34,14 @@ InvalidateProtocol::invalidateRemotes(CpuId cpu, Addr block,
                                       AccessResult &out)
 {
     unsigned copies = 0;
-    for (CpuId other = 0; other < numCpus(); ++other) {
-        if (other == cpu) {
-            continue;
-        }
-        CacheLine *line = caches_[other].find(block);
-        if (line == nullptr) {
-            continue;
-        }
+    forEachOtherHolder(cpu, block, [&](CpuId other, CacheLine &line) {
         ++copies;
-        caches_[other].invalidate(*line);
+        invalidateLine(other, line);
         lostBlocks_[other].insert(block);
         // The victim's controller spends a snoop cycle killing the
         // line, exactly like a Dragon update.
         out.steals.push_back(other);
-    }
+    });
     measured_.copiesInvalidated += copies;
     return copies;
 }
@@ -69,25 +62,18 @@ InvalidateProtocol::handleMiss(CpuId cpu, RefType type, Addr addr,
 
     bool supplied_by_cache = false;
     unsigned holders = 0;
-    for (CpuId other = 0; other < numCpus(); ++other) {
-        if (other == cpu) {
-            continue;
-        }
-        CacheLine *line = caches_[other].find(block);
-        if (line == nullptr) {
-            continue;
-        }
+    forEachOtherHolder(cpu, block, [&](CpuId, CacheLine &line) {
         ++holders;
-        if (isDirtyState(line->state)) {
+        if (isDirtyState(line.state)) {
             // Illinois: the owner supplies the block and memory is
             // updated in the same transaction; the owner keeps a
             // shared clean copy.
             supplied_by_cache = true;
-            line->state = LineState::SharedClean;
-        } else if (line->state == LineState::Exclusive) {
-            line->state = LineState::SharedClean;
+            line.state = LineState::SharedClean;
+        } else if (line.state == LineState::Exclusive) {
+            line.state = LineState::SharedClean;
         }
-    }
+    });
 
     if (supplied_by_cache) {
         out.addOp(dirty_victim ? Operation::DirtyMissCache
@@ -97,9 +83,9 @@ InvalidateProtocol::handleMiss(CpuId cpu, RefType type, Addr addr,
                                : Operation::CleanMissMem);
     }
 
-    cache.fill(victim, addr,
-               holders > 0 ? LineState::SharedClean
-                           : LineState::Exclusive);
+    fillLine(cpu, victim, addr,
+             holders > 0 ? LineState::SharedClean
+                         : LineState::Exclusive);
 
     if (type == RefType::Store) {
         // Read-for-ownership: kill the other copies and write.

@@ -44,9 +44,9 @@ NoCacheProtocol::access(CpuId cpu, RefType type, Addr addr,
     const bool dirty_victim = evict(cpu, victim);
     out.addOp(dirty_victim ? Operation::DirtyMissMem
                            : Operation::CleanMissMem);
-    cache.fill(victim, addr,
-               type == RefType::Store ? LineState::Dirty
-                                      : LineState::Exclusive);
+    fillLine(cpu, victim, addr,
+             type == RefType::Store ? LineState::Dirty
+                                    : LineState::Exclusive);
 }
 
 } // namespace swcc

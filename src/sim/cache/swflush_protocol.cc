@@ -23,7 +23,7 @@ SwFlushProtocol::access(CpuId cpu, RefType type, Addr addr,
         if (dirty) {
             ++measured_.dirtyFlushes;
         }
-        cache.invalidate(*line);
+        invalidateLine(cpu, *line);
         out.addOp(dirty ? Operation::DirtyFlush : Operation::CleanFlush);
         return;
     }
@@ -40,9 +40,9 @@ SwFlushProtocol::access(CpuId cpu, RefType type, Addr addr,
     const bool dirty_victim = evict(cpu, victim);
     out.addOp(dirty_victim ? Operation::DirtyMissMem
                            : Operation::CleanMissMem);
-    cache.fill(victim, addr,
-               type == RefType::Store ? LineState::Dirty
-                                      : LineState::Exclusive);
+    fillLine(cpu, victim, addr,
+             type == RefType::Store ? LineState::Dirty
+                                    : LineState::Exclusive);
 }
 
 } // namespace swcc

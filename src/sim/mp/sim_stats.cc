@@ -1,6 +1,8 @@
 #include "sim/mp/sim_stats.hh"
 
 #include <algorithm>
+#include <ios>
+#include <sstream>
 
 namespace swcc
 {
@@ -84,6 +86,31 @@ SimStats::dirtyMissFraction() const
     return misses > 0
         ? static_cast<double>(dirtyMisses) / static_cast<double>(misses)
         : 0.0;
+}
+
+std::string
+SimStats::serialize() const
+{
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << "protocol=" << protocolName << " scheme="
+        << static_cast<unsigned>(scheme) << " cpus=" << cpus << '\n';
+    out << "ops=";
+    for (std::size_t i = 0; i < opCounts.size(); ++i) {
+        out << (i == 0 ? "" : ",") << opCounts[i];
+    }
+    out << '\n';
+    out << "instrMisses=" << instrMisses << " dataMisses=" << dataMisses
+        << " dirtyMisses=" << dirtyMisses << '\n';
+    out << "busBusy=" << busBusyCycles << " busTransactions="
+        << busTransactions << " makespan=" << makespan << '\n';
+    for (const CpuStats &cpu : perCpu) {
+        out << "cpu instructions=" << cpu.instructions << " flushes="
+            << cpu.flushes << " dataRefs=" << cpu.dataRefs
+            << " finishTime=" << cpu.finishTime << " busWaiting="
+            << cpu.busWaiting << " stolen=" << cpu.stolen << '\n';
+    }
+    return out.str();
 }
 
 } // namespace swcc

@@ -106,6 +106,16 @@ struct SimStats
     {
         return opCounts[operationIndex(op)];
     }
+
+    /**
+     * Canonical, lossless text form of every counter and clock (cycle
+     * values rendered as hexfloats). Two runs produced the same
+     * statistics if and only if their serializations compare equal,
+     * which is how the golden-stats tests and the simulator perf
+     * harness assert bit-identical behaviour across snoop paths and
+     * thread counts.
+     */
+    std::string serialize() const;
 };
 
 } // namespace swcc

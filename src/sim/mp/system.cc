@@ -1,7 +1,8 @@
 #include "sim/mp/system.hh"
 
 #include <algorithm>
-#include <queue>
+#include <bit>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/cache/base_protocol.hh"
@@ -62,6 +63,7 @@ MultiprocessorSystem::MultiprocessorSystem(Scheme scheme,
     for (CpuId i = 0; i < num_cpus; ++i) {
         processors_.emplace_back(i);
     }
+    result_.steals.reserve(num_cpus);
 }
 
 MultiprocessorSystem::MultiprocessorSystem(
@@ -77,6 +79,7 @@ MultiprocessorSystem::MultiprocessorSystem(
     for (CpuId i = 0; i < num_cpus; ++i) {
         processors_.emplace_back(i);
     }
+    result_.steals.reserve(num_cpus);
 }
 
 void
@@ -133,7 +136,14 @@ MultiprocessorSystem::step(TraceProcessor &proc, SimStats &stats)
     }
 
     for (CpuId victim : result_.steals) {
-        processors_[victim].stealCycle();
+        TraceProcessor &victim_proc = processors_[victim];
+        victim_proc.stealCycle();
+        if (victim_proc.done()) {
+            // The victim has retired its last event, so no further
+            // step() will fold the bump into its finish time; record
+            // it here or the stolen cycle never reaches the makespan.
+            victim_proc.stats.finishTime = victim_proc.readyAt;
+        }
     }
 
     proc.readyAt = now;
@@ -154,8 +164,16 @@ MultiprocessorSystem::run(const TraceBuffer &trace)
             "trace uses more processors than the system has");
     }
 
-    // Distribute the interleaved trace into program-order streams.
+    // Distribute the interleaved trace into program-order streams,
+    // counting first so every stream is allocated exactly once.
+    std::vector<std::size_t> stream_sizes(processors_.size(), 0);
+    for (const TraceEvent &event : trace) {
+        ++stream_sizes[event.cpu];
+    }
     std::vector<std::vector<TraceEvent>> streams(processors_.size());
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        streams[i].reserve(stream_sizes[i]);
+    }
     for (const TraceEvent &event : trace) {
         streams[event.cpu].push_back(event);
     }
@@ -172,35 +190,47 @@ MultiprocessorSystem::run(const TraceBuffer &trace)
     stats.cpus = static_cast<CpuId>(processors_.size());
 
     // Global-time event loop: always advance the processor with the
-    // smallest local clock.
-    using Entry = std::pair<Cycles, CpuId>;
-    auto later = [](const Entry &a, const Entry &b) {
-        return a.first > b.first ||
-            (a.first == b.first && a.second > b.second);
-    };
-    std::priority_queue<Entry, std::vector<Entry>, decltype(later)>
-        ready(later);
-    for (const TraceProcessor &proc : processors_) {
-        if (!proc.done()) {
-            ready.push({proc.readyAt, proc.id()});
+    // smallest local clock, lowest id on ties. A tournament tree over
+    // the processor clocks replays one leaf-to-root path (O(log P)
+    // compares, branch-light) per event; the binary heap it replaces
+    // profiled as the hottest function in the whole simulator, and
+    // unlike a heap the tree re-reads clocks on every compare, so
+    // clocks bumped by stolen cycles need no stale-entry repair —
+    // just a refresh of the victim's path. Retired processors park at
+    // +inf; ties resolve leftward, i.e. to the lowest processor id,
+    // exactly as the heap's comparator ordered them.
+    constexpr double kIdle = std::numeric_limits<double>::infinity();
+    const std::size_t leaves = std::bit_ceil(processors_.size());
+    std::vector<double> clocks(leaves, kIdle);
+    std::vector<std::uint32_t> winner(2 * leaves);
+    for (std::size_t i = 0; i < leaves; ++i) {
+        winner[leaves + i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = 0; i < processors_.size(); ++i) {
+        if (!processors_[i].done()) {
+            clocks[i] = processors_[i].readyAt;
         }
     }
+    for (std::size_t n = leaves - 1; n >= 1; --n) {
+        winner[n] = clocks[winner[2 * n]] <= clocks[winner[2 * n + 1]]
+            ? winner[2 * n] : winner[2 * n + 1];
+    }
+    const auto refresh = [&](std::size_t i) {
+        const TraceProcessor &proc = processors_[i];
+        clocks[i] = proc.done() ? kIdle : proc.readyAt;
+        for (std::size_t n = (leaves + i) >> 1; n >= 1; n >>= 1) {
+            const std::uint32_t left = winner[2 * n];
+            const std::uint32_t right = winner[2 * n + 1];
+            winner[n] = clocks[left] <= clocks[right] ? left : right;
+        }
+    };
 
-    while (!ready.empty()) {
-        const auto [time, cpu] = ready.top();
-        ready.pop();
-        TraceProcessor &proc = processors_[cpu];
-        if (proc.done()) {
-            continue;
-        }
-        if (proc.readyAt > time) {
-            // Clock moved (stolen cycles) since this entry was queued.
-            ready.push({proc.readyAt, cpu});
-            continue;
-        }
-        step(proc, stats);
-        if (!proc.done()) {
-            ready.push({proc.readyAt, cpu});
+    while (clocks[winner[1]] != kIdle) {
+        const std::uint32_t cpu = winner[1];
+        step(processors_[cpu], stats);
+        refresh(cpu);
+        for (CpuId victim : result_.steals) {
+            refresh(victim);
         }
     }
 

@@ -76,6 +76,17 @@ class MultiprocessorSystem
     const CoherenceProtocol &protocol() const { return *protocol_; }
 
     /**
+     * Selects the protocol's snoop path (sharer-index directory vs
+     * the retained reference scan); must be called before run().
+     * See SnoopPath.
+     */
+    void
+    setSnoopPath(SnoopPath path)
+    {
+        protocol_->setSnoopPath(path);
+    }
+
+    /**
      * Makes run() verify the cross-cache coherence invariants every
      * @p events references (0 disables; intended for tests).
      */

@@ -17,44 +17,47 @@ ValidationPoint::errorPercent() const
         : 0.0;
 }
 
-std::vector<ValidationPoint>
-validate(const ValidationConfig &config)
+ValidationPoint
+validatePoint(const ValidationConfig &config, CpuId cpus)
 {
     const bool software_trace = config.scheme == Scheme::SoftwareFlush;
 
+    SyntheticWorkloadConfig workload = profileConfig(
+        config.profile, cpus, config.instructionsPerCpu,
+        config.seed + cpus, software_trace);
+    const TraceBuffer trace = generateTrace(workload);
+    const SharedClassifier shared = workload.sharedClassifier();
+
+    CacheConfig cache;
+    cache.sizeBytes = config.cacheBytes;
+    cache.blockBytes = workload.blockBytes;
+
+    ValidationPoint point;
+    point.profile = config.profile;
+    point.scheme = config.scheme;
+    point.cpus = cpus;
+    point.cacheBytes = config.cacheBytes;
+
+    MultiprocessorSystem system(config.scheme, cache, cpus, shared);
+    point.sim = system.run(trace);
+    point.simPower = point.sim.processingPower();
+
+    const ExtractedParams extracted = extractParams(trace, cache, shared);
+    point.model = evaluateBus(config.scheme, extracted.params, cpus);
+    point.modelPower = point.model.processingPower;
+
+    return point;
+}
+
+std::vector<ValidationPoint>
+validate(const ValidationConfig &config)
+{
     // One simulator instance per processor count, run concurrently.
     // Each cell seeds its own trace generator from the cell index
     // (seed + cpus), so the numbers are independent of evaluation
     // order and bit-identical to the serial loop.
     return parallelMap(config.maxCpus, [&](std::size_t i) {
-        const CpuId cpus = static_cast<CpuId>(i + 1);
-        SyntheticWorkloadConfig workload = profileConfig(
-            config.profile, cpus, config.instructionsPerCpu,
-            config.seed + cpus, software_trace);
-        const TraceBuffer trace = generateTrace(workload);
-        const SharedClassifier shared = workload.sharedClassifier();
-
-        CacheConfig cache;
-        cache.sizeBytes = config.cacheBytes;
-        cache.blockBytes = workload.blockBytes;
-
-        ValidationPoint point;
-        point.profile = config.profile;
-        point.scheme = config.scheme;
-        point.cpus = cpus;
-        point.cacheBytes = config.cacheBytes;
-
-        MultiprocessorSystem system(config.scheme, cache, cpus, shared);
-        point.sim = system.run(trace);
-        point.simPower = point.sim.processingPower();
-
-        const ExtractedParams extracted =
-            extractParams(trace, cache, shared);
-        point.model =
-            evaluateBus(config.scheme, extracted.params, cpus);
-        point.modelPower = point.model.processingPower;
-
-        return point;
+        return validatePoint(config, static_cast<CpuId>(i + 1));
     });
 }
 

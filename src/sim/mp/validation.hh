@@ -51,6 +51,16 @@ struct ValidationConfig
 };
 
 /**
+ * Evaluates a single validation cell at @p cpus processors: generates
+ * a fresh trace of the profile (seeded from config.seed + cpus, so the
+ * cell is self-contained and order-independent), simulates the scheme
+ * on it, extracts the Table 2 parameters from that same trace, and
+ * evaluates the analytical model on them. validate() and the sweep
+ * benches fan these cells out across the pool.
+ */
+ValidationPoint validatePoint(const ValidationConfig &config, CpuId cpus);
+
+/**
  * Runs one model-vs-simulation validation experiment.
  *
  * For each processor count a fresh trace of the profile is generated,

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Golden-statistics tests for the simulator's optimized hot path.
+ *
+ * The sharer-index directory, shift/mask cache addressing, and the
+ * tournament-tree event loop are licensed by one invariant: they speed
+ * the simulator up without changing a single statistic. These tests
+ * pin that invariant with SimStats::serialize() byte-equality — the
+ * optimized directory snoop path against the retained reference scan,
+ * for every protocol and application profile, and parallel sweeps
+ * against serial ones across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "sim/cache/invalidate_protocol.hh"
+#include "sim/mp/system.hh"
+#include "sim/mp/validation.hh"
+#include "sim/synth/app_profiles.hh"
+#include "sim/synth/trace_generator.hh"
+
+namespace swcc
+{
+namespace
+{
+
+CacheConfig
+cache64k()
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 1024;
+    config.blockBytes = 16;
+    return config;
+}
+
+/** Serialized statistics of one cold run on the given snoop path. */
+std::string
+runOn(MultiprocessorSystem &system, const TraceBuffer &trace,
+      SnoopPath path)
+{
+    system.setSnoopPath(path);
+    return system.run(trace).serialize();
+}
+
+TEST(GoldenStatsTest, PaperSchemesMatchReferenceScanOnEveryProfile)
+{
+    for (AppProfile profile : kAllProfiles) {
+        for (Scheme scheme : kAllSchemes) {
+            const bool software = scheme == Scheme::SoftwareFlush;
+            const SyntheticWorkloadConfig workload =
+                profileConfig(profile, 4, 8'000, 11, software);
+            const TraceBuffer trace = generateTrace(workload);
+            const SharedClassifier shared =
+                workload.sharedClassifier();
+
+            MultiprocessorSystem reference(scheme, cache64k(), 4,
+                                           shared);
+            MultiprocessorSystem directory(scheme, cache64k(), 4,
+                                           shared);
+            EXPECT_EQ(
+                runOn(reference, trace, SnoopPath::ReferenceScan),
+                runOn(directory, trace, SnoopPath::Directory))
+                << "scheme " << schemeName(scheme) << " profile "
+                << profileName(profile);
+        }
+    }
+}
+
+TEST(GoldenStatsTest, InvalidateProtocolMatchesReferenceScan)
+{
+    for (AppProfile profile : kAllProfiles) {
+        const TraceBuffer trace = generateTrace(
+            profileConfig(profile, 4, 8'000, 13, false));
+
+        MultiprocessorSystem reference(
+            std::make_unique<InvalidateProtocol>(cache64k(), 4));
+        MultiprocessorSystem directory(
+            std::make_unique<InvalidateProtocol>(cache64k(), 4));
+        EXPECT_EQ(runOn(reference, trace, SnoopPath::ReferenceScan),
+                  runOn(directory, trace, SnoopPath::Directory))
+            << "profile " << profileName(profile);
+    }
+}
+
+TEST(GoldenStatsTest, SweepStatisticsAreThreadCountInvariant)
+{
+    ValidationConfig config;
+    config.profile = AppProfile::PeroLike;
+    config.scheme = Scheme::Dragon;
+    config.maxCpus = 3;
+    config.instructionsPerCpu = 6'000;
+    config.seed = 7;
+
+    const auto serialized = [&] {
+        std::vector<std::string> result;
+        for (const ValidationPoint &point : validate(config)) {
+            result.push_back(point.sim.serialize());
+        }
+        return result;
+    };
+
+    setThreadCount(1);
+    const std::vector<std::string> serial = serialized();
+    setThreadCount(4);
+    const std::vector<std::string> parallel = serialized();
+    setThreadCount(0);
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(GoldenStatsTest, DirectoryFallsBackBeyondSixtyFourCpus)
+{
+    constexpr CpuId kCpus = 68;
+    CacheConfig small;
+    small.sizeBytes = 4096;
+    small.blockBytes = 16;
+    small.associativity = 2;
+
+    TraceBuffer trace;
+    for (CpuId cpu = 0; cpu < kCpus; ++cpu) {
+        trace.append(cpu, RefType::Load, 0x8000'0000);
+        trace.append(cpu, RefType::Store, 0x8000'0000);
+    }
+
+    MultiprocessorSystem requested(Scheme::Dragon, small, kCpus);
+    requested.setSnoopPath(SnoopPath::Directory);
+    EXPECT_EQ(requested.protocol().snoopPath(),
+              SnoopPath::ReferenceScan);
+
+    MultiprocessorSystem scan(Scheme::Dragon, small, kCpus);
+    scan.setSnoopPath(SnoopPath::ReferenceScan);
+    EXPECT_EQ(requested.run(trace).serialize(),
+              scan.run(trace).serialize());
+}
+
+TEST(GoldenStatsTest, SnoopPathCannotChangeOnAWarmSystem)
+{
+    TraceBuffer trace;
+    trace.append(0, RefType::Load, 0x8000'0000);
+
+    MultiprocessorSystem system(Scheme::Dragon, cache64k(), 2);
+    system.run(trace);
+    EXPECT_THROW(system.setSnoopPath(SnoopPath::ReferenceScan),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace swcc

@@ -138,6 +138,38 @@ TEST(SystemTimingTest, DragonStealsShowUpInTheVictimsClock)
     EXPECT_EQ(stats.opCount(Operation::WriteBroadcast), 1u);
 }
 
+TEST(SystemTimingTest, StolenCyclesReachARetiredVictimsFinishTime)
+{
+    // cpu1 retires after a single load; cpu0 then broadcasts N stores,
+    // each stealing a cycle from cpu1's still-resident copy. Those
+    // post-retirement steals must land in cpu1's finish time (and
+    // hence the makespan) — they used to vanish, because only a later
+    // step() of the victim folded readyAt back into finishTime.
+    constexpr int kStores = 50;
+    const auto makeTrace = [](int stores) {
+        TraceBuffer trace;
+        trace.append(1, RefType::Load, kShared);
+        trace.append(0, RefType::Load, kShared);
+        for (int i = 0; i < stores; ++i) {
+            trace.append(0, RefType::Store, kShared);
+        }
+        return trace;
+    };
+
+    MultiprocessorSystem quiet(Scheme::Dragon, config(), 2);
+    const SimStats without = quiet.run(makeTrace(0));
+    MultiprocessorSystem noisy(Scheme::Dragon, config(), 2);
+    const SimStats with = noisy.run(makeTrace(kStores));
+
+    // cpu1's own work is identical in both runs; every broadcast
+    // steals exactly one cycle from it.
+    EXPECT_DOUBLE_EQ(with.perCpu[1].stolen,
+                     static_cast<double>(kStores));
+    EXPECT_DOUBLE_EQ(with.perCpu[1].finishTime,
+                     without.perCpu[1].finishTime + kStores);
+    EXPECT_GE(with.makespan, with.perCpu[1].finishTime);
+}
+
 TEST(SystemTimingTest, ReadThroughAndWriteThroughTimings)
 {
     TraceBuffer trace;
