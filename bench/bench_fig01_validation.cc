@@ -13,14 +13,16 @@
 #include <iostream>
 #include <vector>
 
+#include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/validation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swcc;
+    obs::consumeArgs(argc, argv);
 
     std::cout << "=== Figure 1: model vs simulation, Base & Dragon, "
                  "64KB caches ===\n\n";
@@ -89,5 +91,6 @@ main()
                  "vs fixed bus service),\n"
                  "so model power sits slightly below simulation at "
                  "higher processor counts.\n";
+    obs::finalize();
     return 0;
 }

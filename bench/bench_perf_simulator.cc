@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/cache/invalidate_protocol.hh"
@@ -224,11 +225,74 @@ reportSweepSpeedup(const HarnessConfig &config)
     return identical;
 }
 
+/**
+ * Observability overhead: Dragon run with the tracer disabled (the
+ * default one-branch-on-null path) versus enabled, asserting the
+ * simulator statistics are byte-identical either way. The disabled
+ * throughput is the number the ≤2% regression budget is judged on.
+ */
+bool
+reportObservabilityOverhead(const HarnessConfig &config)
+{
+    std::cout << "\n=== Observability: tracer disabled vs enabled ===\n"
+              << "(Dragon, pero-like, "
+              << static_cast<unsigned>(config.cpus) << " CPUs; "
+              << "instrumentation "
+              << (obs::compiledIn() ? "compiled in" : "compiled out")
+              << ")\n\n";
+
+    const SyntheticWorkloadConfig workload =
+        profileConfig(AppProfile::PeroLike, config.cpus,
+                      config.instructionsPerCpu, 55, false);
+    const TraceBuffer trace = generateTrace(workload);
+    const SharedClassifier shared = workload.sharedClassifier();
+    CacheConfig cache;
+    cache.sizeBytes = 64 * 1024;
+    cache.blockBytes = 16;
+
+    const auto timed_run = [&](bool tracing) {
+        obs::tracer().setEnabled(tracing);
+        PathResult result;
+        result.serialized = [&] {
+            MultiprocessorSystem system(Scheme::Dragon, cache,
+                                        config.cpus, shared);
+            return system.run(trace).serialize();
+        }();
+        result.seconds = bestOf(config.reps, [&] {
+            MultiprocessorSystem system(Scheme::Dragon, cache,
+                                        config.cpus, shared);
+            system.run(trace);
+        });
+        obs::tracer().setEnabled(false);
+        return result;
+    };
+
+    const PathResult off = timed_run(false);
+    const PathResult on = timed_run(true);
+    const bool identical = off.serialized == on.serialized;
+
+    const auto events = static_cast<double>(trace.size());
+    TextTable table({"tracing", "ms", "Mev/s", "identical"});
+    table.addRow({"off", formatNumber(off.seconds * 1e3, 1),
+                  formatNumber(events / off.seconds / 1e6, 2),
+                  identical ? "yes" : "NO"});
+    table.addRow({"on", formatNumber(on.seconds * 1e3, 1),
+                  formatNumber(events / on.seconds / 1e6, 2),
+                  identical ? "yes" : "NO"});
+    table.print(std::cout);
+    std::cout << "tracing overhead: "
+              << formatNumber(
+                     100.0 * (on.seconds - off.seconds) / off.seconds, 1)
+              << "%\n";
+    return identical;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    swcc::obs::consumeArgs(argc, argv);
     HarnessConfig config;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -245,12 +309,14 @@ main(int argc, char **argv)
 
     const bool paths_ok = reportSnoopPathSpeedup(config);
     const bool sweep_ok = reportSweepSpeedup(config);
-    if (!paths_ok || !sweep_ok) {
-        std::cerr << "\nFAIL: statistics diverged between snoop paths "
-                     "or thread counts\n";
+    const bool obs_ok = reportObservabilityOverhead(config);
+    if (!paths_ok || !sweep_ok || !obs_ok) {
+        std::cerr << "\nFAIL: statistics diverged between snoop paths, "
+                     "thread counts, or tracing modes\n";
         return 1;
     }
-    std::cout << "\nAll statistics byte-identical across snoop paths "
-                 "and thread counts.\n";
+    std::cout << "\nAll statistics byte-identical across snoop paths, "
+                 "thread counts, and tracing modes.\n";
+    swcc::obs::finalize();
     return 0;
 }

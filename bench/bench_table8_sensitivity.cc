@@ -8,12 +8,14 @@
 
 #include <iostream>
 
+#include "core/obs/obs.hh"
 #include "core/swcc.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swcc;
+    obs::consumeArgs(argc, argv);
 
     SensitivityConfig config;
     config.processors = 16;
@@ -63,5 +65,6 @@ main()
                  "  - No-Cache: same picture minus apl.\n"
                  "  - Dragon: overall hit rate beats sharing level.\n"
                  "  - wr unimportant everywhere.\n";
+    obs::finalize();
     return 0;
 }

@@ -12,14 +12,16 @@
 #include <iostream>
 #include <vector>
 
+#include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/validation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swcc;
+    obs::consumeArgs(argc, argv);
 
     std::cout << "=== X2: software-scheme validation (64KB caches) "
                  "===\n\n";
@@ -90,5 +92,6 @@ main()
                  "track the simulated software\nschemes about as well "
                  "as the hardware schemes, extending the paper's "
                  "validation.\n";
+    obs::finalize();
     return 0;
 }

@@ -4,8 +4,29 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/obs/metrics.hh"
+
 namespace swcc
 {
+
+namespace
+{
+
+#if SWCC_OBS_ENABLED
+/** Records one MVA solve (@p iterations = customer-population steps). */
+void
+noteBusSolve(unsigned iterations)
+{
+    static obs::Counter &solves =
+        obs::metrics().counter("solver.bus.solves");
+    static obs::Counter &iters =
+        obs::metrics().counter("solver.bus.iterations");
+    solves.add(1);
+    iters.add(iterations);
+}
+#endif
+
+} // namespace
 
 BusSolution
 solveBus(const PerInstructionCost &cost, unsigned processors)
@@ -50,6 +71,9 @@ solveBus(const PerInstructionCost &cost, unsigned processors)
         throughput = static_cast<double>(k) / (think + response);
         queue = throughput * response;
     }
+#if SWCC_OBS_ENABLED
+    noteBusSolve(processors);
+#endif
 
     sol.waiting = response - service;
     sol.busUtilization = throughput * service;
@@ -108,6 +132,9 @@ solveBusGeneralService(const PerInstructionCost &cost,
         queue = throughput * response;
         utilization = throughput * service;
     }
+#if SWCC_OBS_ENABLED
+    noteBusSolve(processors);
+#endif
 
     sol.waiting = response - service;
     sol.busUtilization = utilization;

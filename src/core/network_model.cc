@@ -3,8 +3,38 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/obs/metrics.hh"
+
 namespace swcc
 {
+
+namespace
+{
+
+#if SWCC_OBS_ENABLED
+/**
+ * Records one bisection solve: how many iterations it took and the
+ * bracket width it converged to. Registration is a one-time static;
+ * the per-solve cost is two relaxed increments and one histogram
+ * observe.
+ */
+void
+noteNetworkSolve(int iterations, double width)
+{
+    static obs::Counter &solves =
+        obs::metrics().counter("solver.network.solves");
+    static obs::Counter &iters =
+        obs::metrics().counter("solver.network.iterations");
+    static obs::Histogram &residual = obs::metrics().histogram(
+        "solver.network.bracket_width",
+        {1e-15, 1e-13, 1e-11, 1e-9, 1e-6, 1e-3});
+    solves.add(1);
+    iters.add(static_cast<std::uint64_t>(iterations));
+    residual.observe(width);
+}
+#endif
+
+} // namespace
 
 double
 patelStageStep(double m)
@@ -52,7 +82,9 @@ solveComputeFractionK(double rate, double size, unsigned stages,
 
     double lo = 0.0;
     double hi = 1.0;
+    int iterations = 0;
     for (int iter = 0; iter < 200; ++iter) {
+        iterations = iter + 1;
         const double mid = 0.5 * (lo + hi);
         if (residual(mid) > 0.0) {
             lo = mid;
@@ -63,6 +95,11 @@ solveComputeFractionK(double rate, double size, unsigned stages,
             break;
         }
     }
+#if SWCC_OBS_ENABLED
+    noteNetworkSolve(iterations, hi - lo);
+#else
+    (void)iterations;
+#endif
     return 0.5 * (lo + hi);
 }
 
@@ -128,7 +165,9 @@ solveComputeFraction(double rate, double size, unsigned stages)
 
     double lo = 0.0;
     double hi = 1.0;
+    int iterations = 0;
     for (int iter = 0; iter < 200; ++iter) {
+        iterations = iter + 1;
         const double mid = 0.5 * (lo + hi);
         if (residual(mid) > 0.0) {
             lo = mid;
@@ -139,6 +178,11 @@ solveComputeFraction(double rate, double size, unsigned stages)
             break;
         }
     }
+#if SWCC_OBS_ENABLED
+    noteNetworkSolve(iterations, hi - lo);
+#else
+    (void)iterations;
+#endif
     return 0.5 * (lo + hi);
 }
 

@@ -1,0 +1,453 @@
+#include "core/obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <charconv>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+namespace swcc::obs
+{
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        skipWs();
+        JsonValue value = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage after JSON document");
+        }
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 200;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) == literal) {
+            pos_ += literal.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+        }
+        skipWs();
+        JsonValue value;
+        switch (peek()) {
+          case '{': parseObject(value, depth); return value;
+          case '[': parseArray(value, depth); return value;
+          case '"':
+            value.type = JsonValue::Type::String;
+            value.string = parseString();
+            return value;
+          case 't':
+            if (consumeLiteral("true")) {
+                value.type = JsonValue::Type::Bool;
+                value.boolean = true;
+                return value;
+            }
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false")) {
+                value.type = JsonValue::Type::Bool;
+                value.boolean = false;
+                return value;
+            }
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null")) {
+                return value;
+            }
+            fail("bad literal");
+          default:
+            parseNumber(value);
+            return value;
+        }
+    }
+
+    void
+    parseObject(JsonValue &value, int depth)
+    {
+        value.type = JsonValue::Type::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            value.object.emplace_back(std::move(key),
+                                      parseValue(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void
+    parseArray(JsonValue &value, int depth)
+    {
+        value.type = JsonValue::Type::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            value.array.push_back(parseValue(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u':  appendCodepoint(out, parseHex4()); break;
+              default:   fail("bad escape");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+        }
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9') {
+                value |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("bad \\u escape");
+            }
+        }
+        return value;
+    }
+
+    /** UTF-8-encodes one BMP code point (surrogates passed through). */
+    static void
+    appendCodepoint(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    void
+    parseNumber(JsonValue &value)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            fail("expected a value");
+        }
+        double parsed = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            text_.data() + start, text_.data() + pos_, parsed);
+        if (ec != std::errc{} || ptr != text_.data() + pos_) {
+            pos_ = start;
+            fail("bad number");
+        }
+        value.type = JsonValue::Type::Number;
+        value.number = parsed;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[name, value] : object) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+validateChromeTrace(const JsonValue &doc, std::string *error)
+{
+    const auto failWith = [error](const std::string &what) {
+        if (error != nullptr) {
+            *error = what;
+        }
+        return false;
+    };
+
+    const JsonValue *events = nullptr;
+    if (doc.isArray()) {
+        events = &doc;
+    } else if (doc.isObject()) {
+        events = doc.find("traceEvents");
+        if (events == nullptr || !events->isArray()) {
+            return failWith("missing \"traceEvents\" array");
+        }
+    } else {
+        return failWith("top level is neither object nor array");
+    }
+
+    struct StreamState
+    {
+        double lastTs = 0.0;
+        bool sawTs = false;
+        std::uint64_t openSpans = 0;
+    };
+    std::map<std::pair<long long, long long>, StreamState> streams;
+
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &event = events->array[i];
+        const std::string at = "event " + std::to_string(i) + ": ";
+        if (!event.isObject()) {
+            return failWith(at + "not an object");
+        }
+        const JsonValue *ph = event.find("ph");
+        if (ph == nullptr || !ph->isString() ||
+            ph->string.size() != 1) {
+            return failWith(at + "missing one-character \"ph\"");
+        }
+        const char phase = ph->string[0];
+
+        const JsonValue *pid = event.find("pid");
+        const JsonValue *tid = event.find("tid");
+        if (pid == nullptr || !pid->isNumber()) {
+            return failWith(at + "missing numeric \"pid\"");
+        }
+        if (phase != 'M' && (tid == nullptr || !tid->isNumber())) {
+            return failWith(at + "missing numeric \"tid\"");
+        }
+
+        const JsonValue *ts = event.find("ts");
+        if (phase != 'M') {
+            if (ts == nullptr || !ts->isNumber()) {
+                return failWith(at + "missing numeric \"ts\"");
+            }
+            if (!std::isfinite(ts->number)) {
+                return failWith(at + "non-finite \"ts\"");
+            }
+        }
+
+        const JsonValue *name = event.find("name");
+        if (phase != 'E' &&
+            (name == nullptr || !name->isString())) {
+            return failWith(at + "missing \"name\"");
+        }
+
+        if (phase == 'M') {
+            continue;
+        }
+
+        StreamState &stream = streams[{
+            static_cast<long long>(pid->number),
+            tid != nullptr ? static_cast<long long>(tid->number) : 0}];
+        if (stream.sawTs && ts->number < stream.lastTs) {
+            return failWith(at + "\"ts\" decreases within pid/tid");
+        }
+        stream.lastTs = ts->number;
+        stream.sawTs = true;
+
+        switch (phase) {
+          case 'B':
+            ++stream.openSpans;
+            break;
+          case 'E':
+            if (stream.openSpans == 0) {
+                return failWith(at + "E event with no open B");
+            }
+            --stream.openSpans;
+            break;
+          case 'X': {
+            const JsonValue *dur = event.find("dur");
+            if (dur == nullptr || !dur->isNumber() ||
+                !(dur->number >= 0.0)) {
+                return failWith(at +
+                                "X event needs non-negative \"dur\"");
+            }
+            break;
+          }
+          case 'C': {
+            const JsonValue *args = event.find("args");
+            if (args == nullptr || !args->isObject()) {
+                return failWith(at + "C event needs \"args\"");
+            }
+            break;
+          }
+          case 'i':
+          case 'I':
+            break;
+          default:
+            return failWith(at + "unsupported phase '" +
+                            std::string(1, phase) + "'");
+        }
+    }
+
+    for (const auto &[key, stream] : streams) {
+        if (stream.openSpans != 0) {
+            return failWith(
+                "unbalanced B/E: " +
+                std::to_string(stream.openSpans) +
+                " span(s) left open on pid " +
+                std::to_string(key.first) + " tid " +
+                std::to_string(key.second));
+        }
+    }
+    return true;
+}
+
+} // namespace swcc::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal JSON value model, parser, and Chrome-trace validator.
+ *
+ * Supports the whole of JSON (objects, arrays, strings with escapes,
+ * numbers, booleans, null) with a recursion-depth guard; no external
+ * dependencies. Used by tools/trace_check and the observability tests
+ * to verify that every emitted `*.trace.json` artifact is loadable,
+ * and by the emitters for string escaping.
+ */
+
+#ifndef SWCC_CORE_OBS_JSON_HH
+#define SWCC_CORE_OBS_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swcc::obs
+{
+
+/** A parsed JSON value (tagged union, value semantics). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Key/value pairs in document order (duplicates preserved). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** First member named @p key, or nullptr. Object values only. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parses @p text as one JSON document (surrounding whitespace
+ * allowed, trailing garbage rejected).
+ *
+ * @throws std::runtime_error describing the error and its byte
+ *         offset.
+ */
+JsonValue parseJson(std::string_view text);
+
+/** Escapes @p text for embedding in a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * Validates @p doc as a Chrome trace-event document:
+ *
+ *  - the top level is an object with a "traceEvents" array (or a bare
+ *    array of events);
+ *  - every event is an object with a one-character "ph" and numeric
+ *    "pid"/"tid" ("ts" required except for metadata);
+ *  - per (pid, tid), "ts" never decreases and B/E events are balanced
+ *    (every E closes a B, none left open);
+ *  - X events carry a non-negative "dur"; C events carry args.
+ *
+ * On failure @p error (if non-null) receives a description of the
+ * first violation.
+ */
+bool validateChromeTrace(const JsonValue &doc, std::string *error);
+
+} // namespace swcc::obs
+
+#endif // SWCC_CORE_OBS_JSON_HH

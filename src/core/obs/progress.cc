@@ -1,0 +1,140 @@
+#include "core/obs/progress.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace swcc::obs
+{
+
+namespace
+{
+
+std::atomic<bool> progress_on{false};
+
+std::mutex sink_mutex;
+std::ostream *sink = nullptr; // Null means stderr.
+
+double
+nowUs()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+bool
+stderrIsTty()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return isatty(2) == 1;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+progressEnabled()
+{
+    return progress_on.load(std::memory_order_relaxed);
+}
+
+void
+setProgressEnabled(bool on)
+{
+    progress_on.store(on, std::memory_order_relaxed);
+}
+
+void
+setProgressSink(std::ostream *newSink)
+{
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    sink = newSink;
+}
+
+ProgressReporter::ProgressReporter(std::string label,
+                                   std::uint64_t total)
+    : label_(std::move(label)),
+      total_(total),
+      active_(progressEnabled() && total > 0),
+      tty_(stderrIsTty()),
+      startUs_(nowUs())
+{
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    finish();
+}
+
+void
+ProgressReporter::finish()
+{
+    if (!active_) {
+        return;
+    }
+    maybePrint(true);
+    active_ = false;
+}
+
+void
+ProgressReporter::maybePrint(bool force)
+{
+    const auto sinceStart =
+        static_cast<std::int64_t>(nowUs() - startUs_);
+    std::int64_t last = lastPrintUs_.load(std::memory_order_relaxed);
+    // Redraw a terminal often; append to a log file rarely.
+    const std::int64_t interval = tty_ ? 100'000 : 2'000'000;
+    if (!force && sinceStart - last < interval) {
+        return;
+    }
+    // Whoever wins the CAS prints; losers already see fresh output.
+    if (!lastPrintUs_.compare_exchange_strong(
+            last, sinceStart, std::memory_order_relaxed) &&
+        !force) {
+        return;
+    }
+
+    const std::uint64_t done =
+        std::min(done_.load(std::memory_order_relaxed), total_);
+    const double seconds =
+        std::max(static_cast<double>(sinceStart) / 1e6, 1e-9);
+    const double rate = static_cast<double>(done) / seconds;
+    const double pct =
+        100.0 * static_cast<double>(done) / static_cast<double>(total_);
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s: %llu/%llu (%.1f%%) %.1f/s eta %.1fs",
+                  label_.c_str(),
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), pct, rate,
+                  eta);
+
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    std::ostream &os = sink != nullptr ? *sink : std::cerr;
+    if (tty_ && sink == nullptr) {
+        // Redraw in place; \x1b[K clears the remainder of the line.
+        os << '\r' << line << "\x1b[K";
+        if (force) {
+            os << '\n';
+        }
+    } else {
+        os << line << '\n';
+    }
+    os.flush();
+}
+
+} // namespace swcc::obs

@@ -1,11 +1,42 @@
 #include "core/parallel.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <string>
+
+#include "core/obs/obs.hh"
 
 namespace swcc
 {
+
+namespace
+{
+
+std::uint64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    const auto delta = std::chrono::steady_clock::now() - since;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta)
+            .count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+} // namespace
+
+WorkerStats
+PoolStats::totals() const
+{
+    WorkerStats sum;
+    for (const WorkerStats &lane : lanes) {
+        sum.tasksExecuted += lane.tasksExecuted;
+        sum.chunksStolen += lane.chunksStolen;
+        sum.idleNs += lane.idleNs;
+    }
+    return sum;
+}
 
 namespace
 {
@@ -45,9 +76,10 @@ envThreads()
 ThreadPool::ThreadPool(unsigned threads)
 {
     const unsigned lanes = std::max(1u, threads);
+    laneCounters_ = std::make_unique<LaneCounters[]>(lanes);
     workers_.reserve(lanes - 1);
     for (unsigned i = 1; i < lanes; ++i) {
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
     }
 }
 
@@ -64,15 +96,19 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned lane)
 {
     InParallelScope scope;
+    LaneCounters &counters = laneCounters_[lane];
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
+        const auto idleStart = std::chrono::steady_clock::now();
         wake_.wait(lock, [&] {
             return stop_ || (jobFn_ != nullptr && jobSeq_ != seen);
         });
+        counters.idleNs.fetch_add(elapsedNs(idleStart),
+                                  std::memory_order_relaxed);
         if (stop_) {
             return;
         }
@@ -80,7 +116,7 @@ ThreadPool::workerLoop()
         const auto *fn = jobFn_;
         ++workersBusy_;
         lock.unlock();
-        drainJob(*fn);
+        drainJob(lane, *fn);
         lock.lock();
         if (--workersBusy_ == 0) {
             done_.notify_all();
@@ -89,10 +125,32 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::drainJob(const std::function<void(std::size_t)> &fn)
+ThreadPool::drainJob(unsigned lane,
+                     const std::function<void(std::size_t)> &fn)
 {
     const std::size_t n = jobSize_;
     const std::size_t chunk = jobChunk_;
+    LaneCounters &counters = laneCounters_[lane];
+
+#if SWCC_OBS_ENABLED
+    obs::TraceRecorder &trc = obs::tracer();
+    const bool tracing = trc.enabled();
+    std::uint32_t chunkName = 0;
+    std::uint32_t stealName = 0;
+    if (tracing) {
+        thread_local bool named = false;
+        if (!named) {
+            named = true;
+            trc.setThreadName(
+                obs::TraceRecorder::kWallPid, trc.callerTid(),
+                lane == 0 ? std::string("caller")
+                          : "pool-worker-" + std::to_string(lane));
+        }
+        chunkName = trc.intern("pool.chunk");
+        stealName = trc.intern("pool.steal");
+    }
+#endif
+
     for (;;) {
         const std::size_t begin =
             cursor_.fetch_add(chunk, std::memory_order_relaxed);
@@ -100,20 +158,42 @@ ThreadPool::drainJob(const std::function<void(std::size_t)> &fn)
             return;
         }
         const std::size_t end = std::min(n, begin + chunk);
+        counters.chunks.fetch_add(1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+        double chunkStart = 0.0;
+        if (tracing) {
+            chunkStart = trc.nowUs();
+            trc.recordInstant(stealName, obs::TraceRecorder::kWallPid,
+                              trc.callerTid(), chunkStart);
+        }
+#endif
+        std::size_t executed = 0;
         for (std::size_t i = begin; i < end; ++i) {
             if (failed_.load(std::memory_order_relaxed)) {
-                return;
+                break;
             }
             try {
                 fn(i);
+                ++executed;
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (!error_) {
                     error_ = std::current_exception();
                 }
                 failed_.store(true, std::memory_order_relaxed);
-                return;
+                break;
             }
+        }
+        counters.tasks.fetch_add(executed, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+        if (tracing) {
+            trc.recordComplete(chunkName, obs::TraceRecorder::kWallPid,
+                               trc.callerTid(), chunkStart,
+                               trc.nowUs() - chunkStart);
+        }
+#endif
+        if (failed_.load(std::memory_order_relaxed)) {
+            return;
         }
     }
 }
@@ -126,11 +206,23 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
     }
     if (workers_.empty() || n == 1 || tls_in_parallel) {
         // Serial path: identical iteration order, no scheduling at all.
-        for (std::size_t i = 0; i < n; ++i) {
-            fn(i);
+        jobs_.fetch_add(1, std::memory_order_relaxed);
+        std::size_t executed = 0;
+        try {
+            for (std::size_t i = 0; i < n; ++i) {
+                fn(i);
+                ++executed;
+            }
+        } catch (...) {
+            laneCounters_[0].tasks.fetch_add(
+                executed, std::memory_order_relaxed);
+            throw;
         }
+        laneCounters_[0].tasks.fetch_add(executed,
+                                         std::memory_order_relaxed);
         return;
     }
+    jobs_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> job_lock(jobMutex_);
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -148,10 +240,13 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
     wake_.notify_all();
     {
         InParallelScope scope;
-        drainJob(fn);
+        drainJob(0, fn);
     }
+    const auto idleStart = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return workersBusy_ == 0; });
+    laneCounters_[0].idleNs.fetch_add(elapsedNs(idleStart),
+                                      std::memory_order_relaxed);
     // Late-waking workers see a null job and keep sleeping; nothing may
     // touch fn once forEach returns.
     jobFn_ = nullptr;
@@ -161,6 +256,24 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
         lock.unlock();
         std::rethrow_exception(error);
     }
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats out;
+    out.jobs = jobs_.load(std::memory_order_relaxed);
+    out.lanes.resize(size());
+    for (unsigned lane = 0; lane < size(); ++lane) {
+        const LaneCounters &counters = laneCounters_[lane];
+        out.lanes[lane].tasksExecuted =
+            counters.tasks.load(std::memory_order_relaxed);
+        out.lanes[lane].chunksStolen =
+            counters.chunks.load(std::memory_order_relaxed);
+        out.lanes[lane].idleNs =
+            counters.idleNs.load(std::memory_order_relaxed);
+    }
+    return out;
 }
 
 unsigned
@@ -190,18 +303,57 @@ configuredThreads()
     return hardwareThreads();
 }
 
+namespace
+{
+
+std::mutex pool_mutex;
+std::unique_ptr<ThreadPool> global_pool;
+
+} // namespace
+
 ThreadPool &
 globalPool()
 {
-    static std::mutex pool_mutex;
-    static std::unique_ptr<ThreadPool> pool;
     std::lock_guard<std::mutex> lock(pool_mutex);
     const unsigned want = configuredThreads();
-    if (!pool || pool->size() != want) {
-        pool.reset(); // Join the old workers before spawning anew.
-        pool = std::make_unique<ThreadPool>(want);
+    if (!global_pool || global_pool->size() != want) {
+        // Join the old workers before spawning anew.
+        global_pool.reset();
+        global_pool = std::make_unique<ThreadPool>(want);
+        // First pool: make `--metrics-out` dumps include pool.* gauges
+        // without the entry points having to know about the pool.
+        static bool hook_registered = false;
+        if (!hook_registered) {
+            hook_registered = true;
+            obs::addFinalizeHook(recordPoolMetrics);
+        }
     }
-    return *pool;
+    return *global_pool;
+}
+
+void
+recordPoolMetrics()
+{
+    PoolStats stats;
+    unsigned lanes = 0;
+    {
+        std::lock_guard<std::mutex> lock(pool_mutex);
+        if (!global_pool) {
+            return;
+        }
+        stats = global_pool->stats();
+        lanes = global_pool->size();
+    }
+    const WorkerStats totals = stats.totals();
+    obs::MetricsRegistry &registry = obs::metrics();
+    registry.gauge("pool.lanes").set(static_cast<double>(lanes));
+    registry.gauge("pool.jobs").set(static_cast<double>(stats.jobs));
+    registry.gauge("pool.tasks_executed")
+        .set(static_cast<double>(totals.tasksExecuted));
+    registry.gauge("pool.chunks_stolen")
+        .set(static_cast<double>(totals.chunksStolen));
+    registry.gauge("pool.idle_seconds")
+        .set(static_cast<double>(totals.idleNs) / 1e9);
 }
 
 void

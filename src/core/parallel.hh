@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -41,6 +42,27 @@
 
 namespace swcc
 {
+
+/**
+ * Activity counters for one pool lane. Lane 0 is the participating
+ * caller; lanes 1..N-1 are worker threads.
+ */
+struct WorkerStats
+{
+    std::uint64_t tasksExecuted = 0; ///< Indices run by this lane.
+    std::uint64_t chunksStolen = 0;  ///< Cursor claims that won work.
+    std::uint64_t idleNs = 0;        ///< Time blocked waiting for work.
+};
+
+/** A consistent snapshot of a pool's activity since construction. */
+struct PoolStats
+{
+    std::vector<WorkerStats> lanes;
+    std::uint64_t jobs = 0; ///< forEach() calls that ran work.
+
+    /** Sums every lane. */
+    WorkerStats totals() const;
+};
 
 /**
  * A persistent pool of worker threads executing index-space jobs.
@@ -80,13 +102,32 @@ class ThreadPool
      */
     void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Per-lane activity since construction. Safe to call while a job
+     * runs (counters are relaxed atomics); exact once the pool is
+     * quiescent. Counting is always on — each increment touches only
+     * the owning lane's cache line, so it is contention-free.
+     */
+    PoolStats stats() const;
+
   private:
-    void workerLoop();
+    /** One lane's counters, padded onto a private cache line. */
+    struct alignas(64) LaneCounters
+    {
+        std::atomic<std::uint64_t> tasks{0};
+        std::atomic<std::uint64_t> chunks{0};
+        std::atomic<std::uint64_t> idleNs{0};
+    };
+
+    void workerLoop(unsigned lane);
 
     /** Steals and runs chunks of the current job until it is drained. */
-    void drainJob(const std::function<void(std::size_t)> &fn);
+    void drainJob(unsigned lane,
+                  const std::function<void(std::size_t)> &fn);
 
     std::vector<std::thread> workers_;
+    std::unique_ptr<LaneCounters[]> laneCounters_;
+    std::atomic<std::uint64_t> jobs_{0};
 
     /** Serialises whole jobs: one forEach() owns the pool at a time. */
     std::mutex jobMutex_;
@@ -128,6 +169,15 @@ unsigned configuredThreads();
  * after setThreadCount() changes the size.
  */
 ThreadPool &globalPool();
+
+/**
+ * Publishes the global pool's PoolStats to the obs metrics registry
+ * as `pool.*` gauges (lanes, jobs, tasks, chunks, idle seconds).
+ * Idempotent; a no-op when no pool has been created. Registered as an
+ * obs finalize hook, so `--metrics-out` dumps include the pool's
+ * final numbers automatically.
+ */
+void recordPoolMetrics();
 
 /**
  * Runs fn(0) ... fn(n-1) on the global pool.

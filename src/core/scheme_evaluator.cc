@@ -2,11 +2,26 @@
 
 #include <stdexcept>
 
+#include "core/obs/trace.hh"
 #include "core/parallel.hh"
 #include "core/per_instruction.hh"
 
 namespace swcc
 {
+
+namespace
+{
+
+#if SWCC_OBS_ENABLED
+/** Interns a span name once; safe to call on every evaluation. */
+std::uint32_t
+spanName(const char *name)
+{
+    return obs::tracer().intern(name);
+}
+#endif
+
+} // namespace
 
 BusSolution
 evaluateBus(Scheme scheme, const WorkloadParams &params,
@@ -44,6 +59,10 @@ std::vector<BusSolution>
 busPowerCurve(Scheme scheme, const WorkloadParams &params,
               unsigned max_processors)
 {
+#if SWCC_OBS_ENABLED
+    static const std::uint32_t span = spanName("busPowerCurve");
+    obs::ScopedSpan scoped(span);
+#endif
     // Every processor count is an independent solve; slot i holds the
     // (i+1)-processor solution whatever the thread count.
     return parallelMap(max_processors, [&](std::size_t i) {
@@ -56,6 +75,10 @@ std::vector<NetworkSolution>
 networkPowerCurve(Scheme scheme, const WorkloadParams &params,
                   unsigned max_stages)
 {
+#if SWCC_OBS_ENABLED
+    static const std::uint32_t span = spanName("networkPowerCurve");
+    obs::ScopedSpan scoped(span);
+#endif
     return parallelMap(max_stages, [&](std::size_t i) {
         return evaluateNetwork(scheme, params,
                                static_cast<unsigned>(i) + 1);

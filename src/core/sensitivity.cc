@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "core/obs/progress.hh"
 #include "core/parallel.hh"
 #include "core/scheme_evaluator.hh"
 
@@ -121,9 +122,12 @@ sensitivityTable(const SensitivityConfig &config)
             cells.push_back({param, scheme});
         }
     }
+    obs::ProgressReporter progress("sensitivity", cells.size());
     return parallelMap(cells.size(), [&](std::size_t i) {
-        return parameterSensitivity(cells[i].scheme, cells[i].param,
-                                    config);
+        SensitivityEntry entry = parameterSensitivity(
+            cells[i].scheme, cells[i].param, config);
+        progress.tick();
+        return entry;
     });
 }
 

@@ -20,7 +20,25 @@ Bus::acquire(Cycles now, Cycles duration)
     busyCycles_ += duration;
     totalWaited_ += grant.waited;
     ++transactions_;
+#if SWCC_OBS_ENABLED
+    if (observer_ != nullptr) {
+        observer_->recordComplete(grantName_, observerPid_,
+                                  observerTid_, grant.start, duration);
+    }
+#endif
     return grant;
+}
+
+void
+Bus::setObserver(obs::TraceRecorder *recorder, std::int32_t pid,
+                 std::int32_t tid)
+{
+    observer_ = recorder;
+    observerPid_ = pid;
+    observerTid_ = tid;
+    if (recorder != nullptr) {
+        grantName_ = recorder->intern("bus.grant");
+    }
 }
 
 void

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/obs/trace.hh"
 #include "core/types.hh"
 
 namespace swcc
@@ -54,14 +55,29 @@ class Bus
     /** Total cycles requesters spent waiting. */
     Cycles totalWaited() const { return totalWaited_; }
 
-    /** Resets all state and statistics. */
+    /** Resets all state and statistics (the observer is kept). */
     void reset();
+
+    /**
+     * Routes per-grant spans to @p recorder as X events on
+     * (@p pid, @p tid) in simulated time, so emitted timelines show
+     * bus occupancy and arbitration gaps directly; null (the default)
+     * disables at the cost of one branch per grant. Purely
+     * observational — grant timing is unchanged.
+     */
+    void setObserver(obs::TraceRecorder *recorder, std::int32_t pid,
+                     std::int32_t tid);
 
   private:
     Cycles freeAt_ = 0.0;
     Cycles busyCycles_ = 0.0;
     Cycles totalWaited_ = 0.0;
     std::uint64_t transactions_ = 0;
+
+    obs::TraceRecorder *observer_ = nullptr;
+    std::int32_t observerPid_ = 0;
+    std::int32_t observerTid_ = 0;
+    std::uint32_t grantName_ = 0;
 };
 
 } // namespace swcc

@@ -3,6 +3,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/obs/log.hh"
+#include "core/obs/metrics.hh"
+
 namespace swcc
 {
 
@@ -74,8 +77,21 @@ CoherenceProtocol::setSnoopPath(SnoopPath path)
                 "setSnoopPath() requires a cold system");
         }
     }
+    if (path == SnoopPath::Directory &&
+        numCpus() > kMaxDirectoryCpus) {
+        // The silent fallback here once made a 128-CPU "directory"
+        // benchmark measure the scan path; say what actually runs.
+        SWCC_LOG_WARN(
+            "snoop path Directory requested for " +
+            std::to_string(numCpus()) +
+            " CPUs but the sharer index holds at most " +
+            std::to_string(CoherenceProtocol::kMaxDirectoryCpus) +
+            "; falling back to ReferenceScan");
+    }
     useDirectory_ = path == SnoopPath::Directory &&
         numCpus() <= kMaxDirectoryCpus;
+    SWCC_LOG_DEBUG(std::string("snoop path set to ") +
+                   (useDirectory_ ? "Directory" : "ReferenceScan"));
 }
 
 CoherenceProtocol::HolderMask
@@ -160,6 +176,11 @@ CoherenceProtocol::countOtherHolders(CpuId cpu, Addr block) const
 void
 checkCoherenceInvariants(const CoherenceProtocol &protocol)
 {
+#if SWCC_OBS_ENABLED
+    static obs::Counter &checks =
+        obs::metrics().counter("sim.invariant_checks");
+    checks.add(1);
+#endif
     struct BlockView
     {
         unsigned holders = 0;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/obs/log.hh"
 #include "sim/mp/system.hh"
 
 namespace swcc
@@ -70,6 +71,18 @@ extractParams(const TraceBuffer &trace, const CacheConfig &cache_config,
     params.msdat = out.baseStats.dataMissRate();
     params.mains = out.baseStats.instrMissRate();
     params.md = out.baseStats.dirtyMissFraction();
+    // These two are only measurable when the trace actually exercises
+    // write runs / shared dirty misses; a short or read-only trace
+    // silently inheriting the paper's middle value has misled more
+    // than one experiment, so say so.
+    if (!out.traceStats.apl.has_value()) {
+        SWCC_LOG_WARN("trace has no write runs; apl falls back to the "
+                      "paper's middle value");
+    }
+    if (!out.traceStats.mdshd.has_value()) {
+        SWCC_LOG_WARN("trace has no shared-block misses; mdshd falls "
+                      "back to the paper's middle value");
+    }
     params.apl = std::max(
         1.0, out.traceStats.apl.value_or(
                  1.0 / paramLevelValue(ParamId::InvApl, Level::Middle)));

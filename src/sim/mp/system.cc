@@ -4,7 +4,9 @@
 #include <bit>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "core/obs/metrics.hh"
 #include "sim/cache/base_protocol.hh"
 #include "sim/cache/dragon_protocol.hh"
 #include "sim/cache/nocache_protocol.hh"
@@ -144,7 +146,37 @@ MultiprocessorSystem::step(TraceProcessor &proc, SimStats &stats)
             // it here or the stolen cycle never reaches the makespan.
             victim_proc.stats.finishTime = victim_proc.readyAt;
         }
+#if SWCC_OBS_ENABLED
+        if (trc_ != nullptr) {
+            trc_->recordInstant(stealName_, simPid_,
+                                static_cast<std::int32_t>(victim),
+                                victim_proc.readyAt);
+        }
+#endif
     }
+
+#if SWCC_OBS_ENABLED
+    // One branch per retire when tracing is off; purely observational
+    // when on. Span start is the processor's clock at dispatch, so
+    // each CPU track shows retire latency including bus waits.
+    if (trc_ != nullptr) {
+        const Cycles start = proc.readyAt;
+        trc_->recordComplete(
+            retireNames_[static_cast<std::size_t>(event.type)],
+            simPid_, static_cast<std::int32_t>(event.cpu), start,
+            now - start);
+        if ((++retired_ & 4095) == 0) {
+            const auto counterTid =
+                static_cast<std::int32_t>(processors_.size()) + 1;
+            trc_->recordCounter(eventsCounterName_, simPid_,
+                                counterTid, start,
+                                static_cast<double>(retired_));
+            trc_->recordCounter(busBusyCounterName_, simPid_,
+                                counterTid, start,
+                                bus_.busyCycles());
+        }
+    }
+#endif
 
     proc.readyAt = now;
     proc.stats.finishTime = now;
@@ -154,6 +186,36 @@ MultiprocessorSystem::step(TraceProcessor &proc, SimStats &stats)
         ++eventCount_ % invariantInterval_ == 0) {
         checkCoherenceInvariants(*protocol_);
     }
+}
+
+void
+MultiprocessorSystem::beginRunTrace()
+{
+#if SWCC_OBS_ENABLED
+    obs::TraceRecorder &trc = obs::tracer();
+    trc_ = &trc;
+    simPid_ = trc.nextSimPid();
+    const auto cpus = static_cast<std::int32_t>(processors_.size());
+    trc.setProcessName(simPid_,
+                       "sim:" + std::string(protocol_->name()) + " " +
+                           std::to_string(cpus) +
+                           "p (ts in cycles)");
+    for (std::int32_t cpu = 0; cpu < cpus; ++cpu) {
+        trc.setThreadName(simPid_, cpu,
+                          "cpu " + std::to_string(cpu));
+    }
+    trc.setThreadName(simPid_, cpus, "bus");
+    trc.setThreadName(simPid_, cpus + 1, "counters");
+    retireNames_ = {trc.intern("retire.ifetch"),
+                    trc.intern("retire.load"),
+                    trc.intern("retire.store"),
+                    trc.intern("retire.flush")};
+    stealName_ = trc.intern("snoop.steal");
+    eventsCounterName_ = trc.intern("sim.events_retired");
+    busBusyCounterName_ = trc.intern("sim.bus_busy_cycles");
+    bus_.setObserver(&trc, simPid_, cpus);
+    retired_ = 0;
+#endif
 }
 
 SimStats
@@ -183,6 +245,15 @@ MultiprocessorSystem::run(const TraceBuffer &trace)
         processors_[i].stats = CpuStats{};
     }
     bus_.reset();
+
+#if SWCC_OBS_ENABLED
+    if (obs::tracer().enabled()) {
+        beginRunTrace();
+    } else {
+        trc_ = nullptr;
+        bus_.setObserver(nullptr, 0, 0);
+    }
+#endif
 
     SimStats stats;
     stats.scheme = scheme_;
@@ -241,6 +312,21 @@ MultiprocessorSystem::run(const TraceBuffer &trace)
     }
     stats.busBusyCycles = bus_.busyCycles();
     stats.busTransactions = bus_.transactions();
+
+#if SWCC_OBS_ENABLED
+    {
+        // Once per run, off the event loop: aggregate counters only.
+        static obs::Counter &runs =
+            obs::metrics().counter("sim.runs");
+        static obs::Counter &events =
+            obs::metrics().counter("sim.events");
+        static obs::Counter &xacts =
+            obs::metrics().counter("sim.bus.transactions");
+        runs.add(1);
+        events.add(trace.size());
+        xacts.add(stats.busTransactions);
+    }
+#endif
     return stats;
 }
 

@@ -6,11 +6,13 @@
 #ifndef SWCC_SIM_MP_SYSTEM_HH
 #define SWCC_SIM_MP_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/cost_model.hh"
+#include "core/obs/trace.hh"
 #include "core/types.hh"
 #include "sim/bus/bus.hh"
 #include "sim/cache/coherence.hh"
@@ -100,6 +102,9 @@ class MultiprocessorSystem
     /** Executes one trace reference on @p proc. */
     void step(TraceProcessor &proc, SimStats &stats);
 
+    /** Opens this run's simulated-time trace process (tracing on). */
+    void beginRunTrace();
+
     Scheme scheme_;
     BusCostModel costs_;
     std::unique_ptr<CoherenceProtocol> protocol_;
@@ -108,6 +113,19 @@ class MultiprocessorSystem
     AccessResult result_;
     std::uint64_t invariantInterval_ = 0;
     std::uint64_t eventCount_ = 0;
+
+    // Tracing state for the current run. trc_ stays null unless the
+    // recorder is enabled when run() starts, so the per-retire cost
+    // of disabled tracing is one branch on a null pointer; none of
+    // this ever feeds back into simulation timing or statistics.
+    obs::TraceRecorder *trc_ = nullptr;
+    std::int32_t simPid_ = 0;
+    /** Retire-span names indexed by RefType. */
+    std::array<std::uint32_t, 4> retireNames_{};
+    std::uint32_t stealName_ = 0;
+    std::uint32_t eventsCounterName_ = 0;
+    std::uint32_t busBusyCounterName_ = 0;
+    std::uint64_t retired_ = 0;
 };
 
 /**

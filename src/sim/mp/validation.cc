@@ -1,5 +1,6 @@
 #include "sim/mp/validation.hh"
 
+#include "core/obs/progress.hh"
 #include "core/parallel.hh"
 #include "core/scheme_evaluator.hh"
 #include "sim/mp/param_extractor.hh"
@@ -56,8 +57,12 @@ validate(const ValidationConfig &config)
     // Each cell seeds its own trace generator from the cell index
     // (seed + cpus), so the numbers are independent of evaluation
     // order and bit-identical to the serial loop.
+    obs::ProgressReporter progress("validate", config.maxCpus);
     return parallelMap(config.maxCpus, [&](std::size_t i) {
-        return validatePoint(config, static_cast<CpuId>(i + 1));
+        ValidationPoint point =
+            validatePoint(config, static_cast<CpuId>(i + 1));
+        progress.tick();
+        return point;
     });
 }
 

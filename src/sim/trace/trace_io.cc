@@ -10,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/obs/log.hh"
+
 namespace swcc
 {
 
@@ -37,7 +39,9 @@ readU64(std::istream &is)
     std::array<char, 8> bytes{};
     is.read(bytes.data(), bytes.size());
     if (!is) {
-        throw std::runtime_error("truncated trace: expected 8 bytes");
+        const std::string what = "truncated trace: expected 8 bytes";
+        SWCC_LOG_WARN(what);
+        throw std::runtime_error(what);
     }
     std::uint64_t value = 0;
     for (int i = 7; i >= 0; --i) {
@@ -55,10 +59,12 @@ refTypeFromChar(char c, std::size_t line_no)
       case 'l': return RefType::Load;
       case 's': return RefType::Store;
       case 'f': return RefType::Flush;
-      default:
-        throw std::runtime_error(
-            "bad reference type '" + std::string(1, c) + "' on line " +
-            std::to_string(line_no));
+      default: {
+        const std::string what = "bad reference type '" +
+            std::string(1, c) + "' on line " + std::to_string(line_no);
+        SWCC_LOG_WARN(what);
+        throw std::runtime_error(what);
+      }
     }
 }
 
@@ -79,9 +85,10 @@ parseHexAddr(const std::string &token, std::size_t line_no)
     Addr value = 0;
     const auto [ptr, ec] = std::from_chars(first, last, value, 16);
     if (ec != std::errc{} || ptr != last || first == last) {
-        throw std::runtime_error(
-            "bad address '" + token + "' on line " +
-            std::to_string(line_no) + " (expected hex)");
+        const std::string what = "bad address '" + token +
+            "' on line " + std::to_string(line_no) + " (expected hex)";
+        SWCC_LOG_WARN(what);
+        throw std::runtime_error(what);
     }
     return value;
 }
@@ -123,7 +130,9 @@ readBinaryTrace(std::istream &is)
     std::array<char, 8> magic{};
     is.read(magic.data(), magic.size());
     if (!is || magic != kMagic) {
-        throw std::runtime_error("not a SWCC binary trace (bad magic)");
+        const std::string what = "not a SWCC binary trace (bad magic)";
+        SWCC_LOG_WARN(what);
+        throw std::runtime_error(what);
     }
     const std::uint64_t count = readU64(is);
 
@@ -141,10 +150,12 @@ readBinaryTrace(std::istream &is)
             const auto remaining =
                 static_cast<std::uint64_t>(end - here);
             if (count > remaining / kBytesPerEvent) {
-                throw std::runtime_error(
+                const std::string what =
                     "truncated trace: header claims " +
                     std::to_string(count) + " events but only " +
-                    std::to_string(remaining) + " bytes remain");
+                    std::to_string(remaining) + " bytes remain";
+                SWCC_LOG_WARN(what);
+                throw std::runtime_error(what);
             }
         }
     } else {
@@ -162,7 +173,11 @@ readBinaryTrace(std::istream &is)
         event.cpu = static_cast<CpuId>(meta & 0xffffu);
         const auto type_bits = static_cast<std::uint8_t>(meta >> 16);
         if (type_bits > static_cast<std::uint8_t>(RefType::Flush)) {
-            throw std::runtime_error("bad reference type in binary trace");
+            const std::string what =
+                "bad reference type in binary trace (event " +
+                std::to_string(i) + ")";
+            SWCC_LOG_WARN(what);
+            throw std::runtime_error(what);
         }
         event.type = static_cast<RefType>(type_bits);
         trace.append(event);
@@ -201,9 +216,10 @@ readTextTrace(std::istream &is)
         std::string addr_token;
         if (!(fields >> cpu >> type_token >> addr_token) ||
             type_token.size() != 1) {
-            throw std::runtime_error(
-                "malformed trace line " + std::to_string(line_no) +
-                ": '" + line + "'");
+            const std::string what = "malformed trace line " +
+                std::to_string(line_no) + ": '" + line + "'";
+            SWCC_LOG_WARN(what);
+            throw std::runtime_error(what);
         }
         TraceEvent event;
         event.cpu = static_cast<CpuId>(cpu);

@@ -74,6 +74,52 @@ TEST(ParallelPoolTest, ReusableAcrossManyJobs)
     }
 }
 
+TEST(ParallelPoolTest, StatsAccountForEveryTaskSubmitted)
+{
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    pool.forEach(1000, [&](std::size_t) { ++hits; });
+    pool.forEach(37, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 1037);
+
+    const PoolStats stats = pool.stats();
+    ASSERT_EQ(stats.lanes.size(), 4u);
+    EXPECT_EQ(stats.jobs, 2u);
+    const WorkerStats totals = stats.totals();
+    // Every submitted index ran exactly once, wherever it was stolen.
+    EXPECT_EQ(totals.tasksExecuted, 1037u);
+    EXPECT_GE(totals.chunksStolen, 2u);
+}
+
+TEST(ParallelPoolTest, StatsWorkOnTheSerialPath)
+{
+    ThreadPool pool(0);
+    pool.forEach(50, [](std::size_t) {});
+    const PoolStats stats = pool.stats();
+    ASSERT_EQ(stats.lanes.size(), 1u);
+    EXPECT_EQ(stats.jobs, 1u);
+    EXPECT_EQ(stats.totals().tasksExecuted, 50u);
+}
+
+TEST(ParallelPoolTest, StatsCountTasksUpToAFailure)
+{
+    ThreadPool pool(2);
+    try {
+        pool.forEach(8, [](std::size_t i) {
+            if (i == 3) {
+                throw std::runtime_error("boom");
+            }
+        });
+        FAIL() << "expected the job's exception";
+    } catch (const std::runtime_error &) {
+    }
+    // Execution stops early, but the accounting never loses a task
+    // that did run: at least the failing chunk's predecessors.
+    const PoolStats stats = pool.stats();
+    EXPECT_GE(stats.totals().chunksStolen, 1u);
+    EXPECT_LE(stats.totals().tasksExecuted, 7u);
+}
+
 TEST(ParallelForTest, RunsZeroOneAndManyItems)
 {
     ThreadCountGuard guard(4);

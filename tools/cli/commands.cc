@@ -3,6 +3,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
 #include "sim/mp/param_extractor.hh"
@@ -120,6 +121,19 @@ withWorkload(std::vector<std::string> extra)
     return names;
 }
 
+/** Options every command accepts (threading + observability). */
+std::vector<std::string>
+withGlobals(std::vector<std::string> extra)
+{
+    static const std::vector<std::string> kGlobalOptions = {
+        "threads", "metrics-out", "trace-json", "progress",
+        "log-level",
+    };
+    extra.insert(extra.end(), kGlobalOptions.begin(),
+                 kGlobalOptions.end());
+    return extra;
+}
+
 } // namespace
 
 void
@@ -157,14 +171,23 @@ printUsage(std::ostream &out)
         "global options:\n"
         "  --threads N  worker threads for experiment grids (default:\n"
         "            SWCC_THREADS env var, else hardware concurrency;\n"
-        "            results are bit-identical for any thread count)\n";
+        "            results are bit-identical for any thread count)\n"
+        "  --metrics-out FILE  dump the metrics registry on exit\n"
+        "            (JSON, or CSV when FILE ends in .csv)\n"
+        "  --trace-json FILE  emit a Chrome trace-event file; open it\n"
+        "            in https://ui.perfetto.dev (simulated time is in\n"
+        "            cycles, wall time in microseconds)\n"
+        "  --progress  rate/ETA progress lines on stderr for long\n"
+        "            sweeps (throttled, TTY-aware)\n"
+        "  --log-level LEVEL  trace|debug|info|warn|error|off\n"
+        "            (default: warn, or SWCC_LOG_LEVEL env var)\n";
 }
 
 int
 cmdEval(const Options &options, std::ostream &out)
 {
     options.requireKnown(
-        withWorkload({"cpus", "network", "stages", "threads"}));
+        withWorkload(withGlobals({"cpus", "network", "stages"})));
     const WorkloadParams params = workloadFromOptions(options);
     const unsigned cpus = options.unsignedOr("cpus", 8);
 
@@ -215,8 +238,8 @@ cmdEval(const Options &options, std::ostream &out)
 int
 cmdGen(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"profile", "cpus", "instructions", "seed",
-                          "flushes", "out", "threads"});
+    options.requireKnown(withGlobals(
+        {"profile", "cpus", "instructions", "seed", "flushes", "out"}));
     const AppProfile profile =
         profileFromName(options.valueOr("profile", "pops-like"));
     const SyntheticWorkloadConfig config = profileConfig(
@@ -236,7 +259,7 @@ cmdGen(const Options &options, std::ostream &out)
 int
 cmdStat(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"block", "threads"});
+    options.requireKnown(withGlobals({"block"}));
     if (options.positional().empty()) {
         throw std::invalid_argument("stat needs a trace file");
     }
@@ -266,8 +289,8 @@ cmdStat(const Options &options, std::ostream &out)
 int
 cmdSim(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"scheme", "cache", "assoc", "block",
-                          "threads"});
+    options.requireKnown(withGlobals(
+        {"scheme", "cache", "assoc", "block"}));
     if (options.positional().empty()) {
         throw std::invalid_argument("sim needs a trace file");
     }
@@ -310,8 +333,8 @@ cmdSim(const Options &options, std::ostream &out)
 int
 cmdValidate(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"profile", "scheme", "cpus", "instructions",
-                          "cache", "seed", "threads"});
+    options.requireKnown(withGlobals(
+        {"profile", "scheme", "cpus", "instructions", "cache", "seed"}));
     ValidationConfig config;
     config.profile =
         profileFromName(options.valueOr("profile", "pops-like"));
@@ -338,7 +361,7 @@ int
 cmdSweep(const Options &options, std::ostream &out)
 {
     options.requireKnown(withWorkload(
-        {"param", "from", "to", "points", "cpus", "threads"}));
+        withGlobals({"param", "from", "to", "points", "cpus"})));
     const auto param_name = options.value("param");
     if (!param_name) {
         throw std::invalid_argument("sweep needs --param");
@@ -377,7 +400,7 @@ int
 cmdNetwork(const Options &options, std::ostream &out)
 {
     options.requireKnown(
-        withWorkload({"stages", "switch", "threads"}));
+        withWorkload(withGlobals({"stages", "switch"})));
     const WorkloadParams params = workloadFromOptions(options);
     const unsigned k = options.unsignedOr("switch", 2);
     if (k < 2) {
@@ -430,7 +453,7 @@ cmdNetwork(const Options &options, std::ostream &out)
 int
 cmdSensitivity(const Options &options, std::ostream &out)
 {
-    options.requireKnown({"cpus", "grid", "threads"});
+    options.requireKnown(withGlobals({"cpus", "grid"}));
     SensitivityConfig config;
     config.processors = options.unsignedOr("cpus", 16);
     config.averageOverGrid = options.has("grid");
@@ -478,37 +501,59 @@ run(const std::vector<std::string> &args, std::ostream &out)
             }
             setThreadCount(threads);
         }
-        if (command == "eval") {
-            return cmdEval(options, out);
+
+        // Environment defaults first, explicit flags on top.
+        obs::CliConfig obs_config = obs::envConfig();
+        if (const auto path = options.value("metrics-out")) {
+            obs_config.metricsOut = *path;
         }
-        if (command == "gen") {
-            return cmdGen(options, out);
+        if (const auto path = options.value("trace-json")) {
+            obs_config.traceJson = *path;
         }
-        if (command == "stat") {
-            return cmdStat(options, out);
+        if (options.has("progress")) {
+            obs_config.progress = true;
         }
-        if (command == "sim") {
-            return cmdSim(options, out);
+        if (const auto level = options.value("log-level")) {
+            obs_config.logLevel = *level;
         }
-        if (command == "validate") {
-            return cmdValidate(options, out);
-        }
-        if (command == "sweep") {
-            return cmdSweep(options, out);
-        }
-        if (command == "network") {
-            return cmdNetwork(options, out);
-        }
-        if (command == "sensitivity") {
-            return cmdSensitivity(options, out);
-        }
-        if (command == "help" || command == "--help") {
+        obs::applyCli(obs_config);
+
+        const auto dispatch = [&]() -> int {
+            if (command == "eval") {
+                return cmdEval(options, out);
+            }
+            if (command == "gen") {
+                return cmdGen(options, out);
+            }
+            if (command == "stat") {
+                return cmdStat(options, out);
+            }
+            if (command == "sim") {
+                return cmdSim(options, out);
+            }
+            if (command == "validate") {
+                return cmdValidate(options, out);
+            }
+            if (command == "sweep") {
+                return cmdSweep(options, out);
+            }
+            if (command == "network") {
+                return cmdNetwork(options, out);
+            }
+            if (command == "sensitivity") {
+                return cmdSensitivity(options, out);
+            }
+            if (command == "help" || command == "--help") {
+                printUsage(out);
+                return 0;
+            }
+            out << "unknown command '" << command << "'\n\n";
             printUsage(out);
-            return 0;
-        }
-        out << "unknown command '" << command << "'\n\n";
-        printUsage(out);
-        return 2;
+            return 2;
+        };
+        const int rc = dispatch();
+        obs::finalize();
+        return rc;
     } catch (const std::exception &error) {
         out << "error: " << error.what() << '\n';
         return 2;

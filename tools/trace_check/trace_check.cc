@@ -1,0 +1,63 @@
+/**
+ * @file
+ * trace_check: validates Chrome trace-event JSON files emitted by
+ * `--trace-json` (or anything else claiming the format).
+ *
+ * For each file argument: parse the document, then check the
+ * trace-event contract — one-character "ph", numeric pid/tid/ts,
+ * non-decreasing ts per (pid, tid) stream, balanced B/E pairs, X
+ * events with non-negative durations, C events carrying args. Exits 0
+ * when every file passes, 1 otherwise, so a ctest fixture can gate on
+ * emitted artifacts staying loadable in Perfetto.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/obs/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: trace_check FILE.trace.json...\n";
+        return 2;
+    }
+
+    bool all_ok = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::ifstream is(path, std::ios::binary);
+        if (!is) {
+            std::cerr << path << ": cannot open\n";
+            all_ok = false;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << is.rdbuf();
+
+        try {
+            const swcc::obs::JsonValue doc =
+                swcc::obs::parseJson(buffer.str());
+            std::string error;
+            if (!swcc::obs::validateChromeTrace(doc, &error)) {
+                std::cerr << path << ": invalid trace: " << error
+                          << '\n';
+                all_ok = false;
+                continue;
+            }
+            const swcc::obs::JsonValue *events =
+                doc.find("traceEvents");
+            const std::size_t count = events != nullptr
+                ? events->array.size()
+                : doc.array.size();
+            std::cout << path << ": ok (" << count << " events)\n";
+        } catch (const std::exception &error) {
+            std::cerr << path << ": " << error.what() << '\n';
+            all_ok = false;
+        }
+    }
+    return all_ok ? 0 : 1;
+}
