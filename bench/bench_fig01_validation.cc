@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "core/campaign/campaign.hh"
 #include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
@@ -30,23 +31,32 @@ main(int argc, char **argv)
     constexpr std::array kSchemes{Scheme::Base, Scheme::Dragon};
     constexpr CpuId kMaxCpus = 4;
 
+    // Journaled + resumable when SWCC_JOURNAL_DIR is set: every
+    // (profile, scheme, cpus) cell lands in one shared journal, so a
+    // killed figure run picks up where it left off.
+    const campaign::CampaignOptions campaign_options =
+        campaign::envCampaignOptions("fig01");
+    campaign::CampaignReport report;
+
     for (AppProfile profile : kAllProfiles) {
-        // All scheme x cpus cells of this profile are independent
-        // simulations; flatten them into one grid so the pool
-        // load-balances across the whole figure, then render serially.
-        const std::vector<ValidationPoint> points = parallelMapGrid(
-            kSchemes.size(), kMaxCpus,
-            [&](std::size_t row, std::size_t col) {
-                ValidationConfig config;
-                config.profile = profile;
-                config.scheme = kSchemes[row];
-                config.cacheBytes = 64 * 1024;
-                config.maxCpus = kMaxCpus;
-                config.instructionsPerCpu = 120'000;
-                config.seed = 1989;
-                return validatePoint(config,
-                                     static_cast<CpuId>(col + 1));
-            });
+        // Each scheme's 1..kMaxCpus cells are independent simulations
+        // fanned across the pool by validate(); render serially.
+        std::vector<ValidationPoint> points;
+        for (Scheme scheme : kSchemes) {
+            ValidationConfig config;
+            config.profile = profile;
+            config.scheme = scheme;
+            config.cacheBytes = 64 * 1024;
+            config.maxCpus = kMaxCpus;
+            config.instructionsPerCpu = 120'000;
+            config.seed = 1989;
+            campaign::CampaignReport scheme_report;
+            const std::vector<ValidationPoint> scheme_points =
+                validate(config, campaign_options, &scheme_report);
+            points.insert(points.end(), scheme_points.begin(),
+                          scheme_points.end());
+            report.merge(scheme_report);
+        }
 
         TextTable table({"scheme", "cpus", "sim power", "model power",
                          "error %"});
@@ -91,6 +101,9 @@ main(int argc, char **argv)
                  "vs fixed bus service),\n"
                  "so model power sits slightly below simulation at "
                  "higher processor counts.\n";
+    if (report.fromJournal + report.retries + report.poisoned > 0) {
+        std::cerr << "campaign: " << report.summary() << '\n';
+    }
     obs::finalize();
     return 0;
 }

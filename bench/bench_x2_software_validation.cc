@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "core/campaign/campaign.hh"
 #include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
@@ -30,23 +31,28 @@ main(int argc, char **argv)
                                   Scheme::NoCache};
     constexpr CpuId kMaxCpus = 4;
 
+    // Journaled + resumable when SWCC_JOURNAL_DIR is set.
+    const campaign::CampaignOptions campaign_options =
+        campaign::envCampaignOptions("x2");
+
     for (AppProfile profile :
          {AppProfile::PopsLike, AppProfile::PeroLike}) {
-        // Flatten the scheme x cpus cells into one grid so the pool
-        // balances across both schemes, then render in row order.
-        const std::vector<ValidationPoint> points = parallelMapGrid(
-            kSchemes.size(), kMaxCpus,
-            [&](std::size_t row, std::size_t col) {
-                ValidationConfig config;
-                config.profile = profile;
-                config.scheme = kSchemes[row];
-                config.cacheBytes = 64 * 1024;
-                config.maxCpus = kMaxCpus;
-                config.instructionsPerCpu = 120'000;
-                config.seed = 77;
-                return validatePoint(config,
-                                     static_cast<CpuId>(col + 1));
-            });
+        // Each scheme's 1..kMaxCpus cells fan across the pool inside
+        // validate(); render in row order.
+        std::vector<ValidationPoint> points;
+        for (Scheme scheme : kSchemes) {
+            ValidationConfig config;
+            config.profile = profile;
+            config.scheme = scheme;
+            config.cacheBytes = 64 * 1024;
+            config.maxCpus = kMaxCpus;
+            config.instructionsPerCpu = 120'000;
+            config.seed = 77;
+            const std::vector<ValidationPoint> scheme_points =
+                validate(config, campaign_options);
+            points.insert(points.end(), scheme_points.begin(),
+                          scheme_points.end());
+        }
 
         std::cout << "--- " << profileName(profile) << " ---\n";
         TextTable table({"scheme", "cpus", "sim power", "model power",

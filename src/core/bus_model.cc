@@ -1,9 +1,11 @@
 #include "core/bus_model.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "core/campaign/faults.hh"
 #include "core/obs/metrics.hh"
 
 namespace swcc
@@ -74,6 +76,14 @@ solveBus(const PerInstructionCost &cost, unsigned processors)
 #if SWCC_OBS_ENABLED
     noteBusSolve(processors);
 #endif
+    // Campaign resilience: the retry/poison machinery treats a
+    // non-finite recursion (or an injected failure) as a retryable
+    // solver fault rather than silently emitting garbage.
+    campaign::checkFault(campaign::FaultSite::SolverBus);
+    if (!std::isfinite(response) || !std::isfinite(queue)) {
+        throw campaign::SolverNonConvergence(
+            "bus MVA recursion produced a non-finite solution");
+    }
 
     sol.waiting = response - service;
     sol.busUtilization = throughput * service;
@@ -135,6 +145,11 @@ solveBusGeneralService(const PerInstructionCost &cost,
 #if SWCC_OBS_ENABLED
     noteBusSolve(processors);
 #endif
+    campaign::checkFault(campaign::FaultSite::SolverBus);
+    if (!std::isfinite(response) || !std::isfinite(queue)) {
+        throw campaign::SolverNonConvergence(
+            "bus approximate MVA produced a non-finite solution");
+    }
 
     sol.waiting = response - service;
     sol.busUtilization = utilization;

@@ -1,0 +1,116 @@
+#include "core/campaign/cell_hash.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/workload.hh"
+
+namespace swcc::campaign
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+/** One canonical bit pattern per double value (see header). */
+std::uint64_t
+canonicalBits(double value)
+{
+    if (std::isnan(value)) {
+        return 0x7ff8000000000000ull; // Quiet NaN, zero payload.
+    }
+    if (value == 0.0) {
+        value = 0.0; // Collapse -0.0.
+    }
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return bits;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+CellKey::CellKey(std::string_view domain) : hash_(kFnvOffset)
+{
+    add(domain);
+}
+
+void
+CellKey::mixBytes(const void *data, std::size_t size)
+{
+    hash_ = fnv1a64(data, size, hash_);
+}
+
+void
+CellKey::mixSeparator()
+{
+    // A byte that cannot appear inside a field's encoding (fields are
+    // either UTF-8 text or fixed-width little-endian words preceded by
+    // a tag), so ("ab","c") never collides with ("a","bc").
+    const unsigned char sep = 0xff;
+    mixBytes(&sep, 1);
+}
+
+CellKey &
+CellKey::add(std::string_view field)
+{
+    const unsigned char tag = 's';
+    mixBytes(&tag, 1);
+    mixBytes(field.data(), field.size());
+    mixSeparator();
+    return *this;
+}
+
+CellKey &
+CellKey::add(double value)
+{
+    const unsigned char tag = 'd';
+    mixBytes(&tag, 1);
+    std::uint64_t bits = canonicalBits(value);
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>((bits >> (8 * i)) & 0xffu);
+    }
+    mixBytes(bytes, sizeof bytes);
+    mixSeparator();
+    return *this;
+}
+
+CellKey &
+CellKey::add(std::uint64_t value)
+{
+    const unsigned char tag = 'u';
+    mixBytes(&tag, 1);
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] =
+            static_cast<unsigned char>((value >> (8 * i)) & 0xffu);
+    }
+    mixBytes(bytes, sizeof bytes);
+    mixSeparator();
+    return *this;
+}
+
+CellKey &
+CellKey::add(const WorkloadParams &params)
+{
+    for (ParamId id : kAllParams) {
+        add(getParam(params, id));
+    }
+    return *this;
+}
+
+} // namespace swcc::campaign

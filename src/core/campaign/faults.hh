@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic fault injection for campaign resilience testing.
+ *
+ * Production code calls checkFault(site) at the few places where the
+ * real world can fail — trace file reads, solver convergence, a task
+ * being killed mid-cell. With no spec configured the check is one
+ * relaxed atomic load. With SWCC_FAULT_INJECT (or configureFaults())
+ * active, the site throws its characteristic exception on a
+ * deterministic subset of its operations, letting tests drive the
+ * retry / backoff / poisoned-cell / resume machinery end to end and
+ * assert the *exact* injected counts back out of the obs metrics
+ * (`fault.injected.<site>`).
+ *
+ * Spec grammar (comma-separated entries):
+ *
+ *   site:COUNT           fail the first COUNT operations at the site
+ *   site:COUNT@SKIP      skip SKIP operations first, then fail COUNT
+ *   site:P%              fail each operation with probability P/100,
+ *                        decided by a hash of (seed, site, op index) —
+ *                        deterministic for a given campaign seed
+ *
+ * Sites: trace-io, solver-bus, solver-net, task-kill, task-timeout.
+ *
+ * Example: SWCC_FAULT_INJECT="solver-bus:2,task-kill:1@5" fails the
+ * first two bus solves (retryable) and kills the sixth campaign task
+ * (fatal — the campaign aborts as if the process died, and a
+ * `--resume` run completes it).
+ */
+
+#ifndef SWCC_CORE_CAMPAIGN_FAULTS_HH
+#define SWCC_CORE_CAMPAIGN_FAULTS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/parallel.hh"
+
+namespace swcc::campaign
+{
+
+/** Operation classes that can be made to fail. */
+enum class FaultSite : std::uint8_t
+{
+    TraceIo,     ///< Trace file reads (loadTrace).
+    SolverBus,   ///< Bus MVA solves (solveBus*).
+    SolverNet,   ///< Network fixed-point solves (solveComputeFraction*).
+    TaskKill,    ///< Campaign task start: simulates a process kill.
+    TaskTimeout, ///< Campaign task start: simulates a hung cell.
+};
+
+inline constexpr std::size_t kNumFaultSites = 5;
+
+/** Spec name of a site ("trace-io", "solver-bus", ...). */
+std::string_view faultSiteName(FaultSite site);
+
+/** A solver failed (or was made to fail) to converge. Retryable. */
+struct SolverNonConvergence : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** An injected I/O failure on a trace read. Retryable. */
+struct InjectedIoFailure : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * An injected mid-cell kill. Derives FatalTaskError, so the pool
+ * aborts the whole job — the closest in-process stand-in for
+ * `kill -9` that tests can still observe.
+ */
+struct TaskKilled : FatalTaskError
+{
+    using FatalTaskError::FatalTaskError;
+};
+
+/**
+ * Installs @p spec (see file comment), replacing any active config.
+ * An empty spec disables injection. @p seed feeds the probabilistic
+ * mode; count mode is seed-independent.
+ *
+ * @throws std::invalid_argument on an unparseable spec.
+ */
+void configureFaults(const std::string &spec, std::uint64_t seed);
+
+/**
+ * Removes all fault configuration and zeroes the per-site operation
+ * counters (injected-count metrics are monotonic and persist).
+ */
+void clearFaults();
+
+/** True when any site has an active fault rule. */
+bool faultsActive();
+
+/**
+ * Counts one operation at @p site and throws the site's exception if
+ * the active spec says this operation fails. The first call lazily
+ * installs SWCC_FAULT_INJECT (seeded by SWCC_FAULT_SEED, default 1)
+ * when configureFaults() has not run, so every binary — CLI, benches,
+ * tests — honours the environment with no wiring.
+ */
+void checkFault(FaultSite site);
+
+/** Faults injected at @p site since process start (monotonic). */
+std::uint64_t injectedCount(FaultSite site);
+
+} // namespace swcc::campaign
+
+#endif // SWCC_CORE_CAMPAIGN_FAULTS_HH

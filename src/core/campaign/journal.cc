@@ -1,0 +1,212 @@
+#include "core/campaign/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "core/campaign/cell_hash.hh"
+#include "core/obs/log.hh"
+
+namespace swcc::campaign
+{
+
+namespace
+{
+
+constexpr std::string_view kHeader = "# swcc journal v1\n";
+
+std::string
+hex16(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xfu];
+        value >>= 4;
+    }
+    return out;
+}
+
+bool
+parseHex16(std::string_view token, std::uint64_t &out)
+{
+    if (token.size() != 16) {
+        return false;
+    }
+    std::uint64_t value = 0;
+    for (char c : token) {
+        value <<= 4;
+        if (c >= '0' && c <= '9') {
+            value |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            value |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            return false;
+        }
+    }
+    out = value;
+    return true;
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+}
+
+std::uint64_t
+doubleToBits(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return bits;
+}
+
+/**
+ * Paths already opened by a Journal in this process. A campaign's
+ * first writer decides freshness (truncate unless resuming); later
+ * drivers sharing the path — e.g. several validate() calls of one
+ * bench — always append.
+ */
+std::mutex opened_mutex;
+std::set<std::string> opened_paths;
+
+} // namespace
+
+Journal::Journal(std::string path, bool keep_existing)
+    : path_(std::move(path))
+{
+    bool truncate = !keep_existing;
+    {
+        std::lock_guard<std::mutex> lock(opened_mutex);
+        if (!opened_paths.insert(path_).second) {
+            truncate = false; // A writer this run already owns it.
+        }
+    }
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate) {
+        flags |= O_TRUNC;
+    }
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        throw std::runtime_error("cannot open journal " + path_ +
+                                 ": " + std::strerror(errno));
+    }
+    // An empty (fresh or truncated) journal gets the version header.
+    if (::lseek(fd_, 0, SEEK_END) == 0) {
+        if (::write(fd_, kHeader.data(), kHeader.size()) < 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error("cannot write journal " + path_ +
+                                     ": " + std::strerror(err));
+        }
+    }
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+void
+Journal::append(std::uint64_t key, const std::vector<double> &values)
+{
+    std::string record = hex16(key);
+    record += ' ';
+    record += std::to_string(values.size());
+    for (double value : values) {
+        record += ' ';
+        record += hex16(doubleToBits(value));
+    }
+    record += ' ';
+    record += hex16(fnv1a64(record.data(), record.size(),
+                            0xcbf29ce484222325ull));
+    record += '\n';
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One write() to an O_APPEND fd: the record lands contiguously;
+    // fsync makes it durable before the cell is considered complete.
+    if (::write(fd_, record.data(), record.size()) !=
+        static_cast<ssize_t>(record.size())) {
+        throw std::runtime_error("cannot append to journal " + path_ +
+                                 ": " + std::strerror(errno));
+    }
+    if (::fsync(fd_) != 0) {
+        throw std::runtime_error("cannot fsync journal " + path_);
+    }
+}
+
+std::unordered_map<std::uint64_t, std::vector<double>>
+Journal::load(const std::string &path)
+{
+    std::unordered_map<std::uint64_t, std::vector<double>> records;
+    std::ifstream is(path);
+    if (!is) {
+        return records; // No journal yet: nothing to resume.
+    }
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        // Split the trailing checksum from the covered prefix.
+        const auto last_space = line.rfind(' ');
+        std::uint64_t checksum = 0;
+        if (last_space == std::string::npos ||
+            !parseHex16(std::string_view(line).substr(last_space + 1),
+                        checksum) ||
+            checksum != fnv1a64(line.data(), last_space + 1,
+                                0xcbf29ce484222325ull)) {
+            SWCC_LOG_WARN("journal " + path + ": torn record at line " +
+                          std::to_string(line_no) +
+                          "; ignoring it and everything after");
+            break;
+        }
+        std::istringstream fields(line.substr(0, last_space));
+        std::string key_token;
+        std::size_t count = 0;
+        std::uint64_t key = 0;
+        if (!(fields >> key_token >> count) ||
+            !parseHex16(key_token, key)) {
+            SWCC_LOG_WARN("journal " + path + ": malformed record at "
+                          "line " + std::to_string(line_no));
+            break;
+        }
+        std::vector<double> values;
+        values.reserve(count);
+        bool ok = true;
+        for (std::size_t i = 0; i < count; ++i) {
+            std::string value_token;
+            std::uint64_t bits = 0;
+            if (!(fields >> value_token) ||
+                !parseHex16(value_token, bits)) {
+                ok = false;
+                break;
+            }
+            values.push_back(bitsToDouble(bits));
+        }
+        if (!ok) {
+            SWCC_LOG_WARN("journal " + path + ": malformed record at "
+                          "line " + std::to_string(line_no));
+            break;
+        }
+        records[key] = std::move(values); // Last record wins.
+    }
+    return records;
+}
+
+} // namespace swcc::campaign

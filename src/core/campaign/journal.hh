@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Append-only, checksummed campaign journal.
+ *
+ * As a campaign completes cells, each result is appended to the
+ * journal as one self-contained, checksummed record keyed by the
+ * cell's identity hash (see cell_hash.hh). Records are written with a
+ * single write() to an O_APPEND descriptor and fsync()ed, so a
+ * process killed at any instant leaves at worst one torn record at
+ * the tail — which load() detects by checksum and drops. A resumed
+ * run (`--resume <journal>`) therefore recovers exactly the cells
+ * that durably completed and recomputes only the rest.
+ *
+ * Format (text, one record per line):
+ *
+ *   # swcc journal v1
+ *   <key:16 hex> <n:dec> <v0:16 hex> ... <v(n-1):16 hex> <crc:16 hex>
+ *
+ * Values are IEEE-754 doubles by bit pattern — exact round trip, so
+ * a resumed campaign's final CSVs are byte-identical to an
+ * uninterrupted run's. The checksum is FNV-1a 64 over the record text
+ * up to and including the space before the checksum field. Duplicate
+ * keys are legal (a retried or re-run cell appends again); the last
+ * record wins.
+ */
+
+#ifndef SWCC_CORE_CAMPAIGN_JOURNAL_HH
+#define SWCC_CORE_CAMPAIGN_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swcc::campaign
+{
+
+/**
+ * Writer half of the journal (see file comment). Thread-safe: cells
+ * completing on different pool lanes append under one mutex, each
+ * record flushed and fsync()ed before append() returns.
+ */
+class Journal
+{
+  public:
+    /**
+     * Opens @p path for appending.
+     *
+     * The first Journal opened for a given path in this process with
+     * @p keep_existing false truncates any stale file and writes a
+     * fresh header; with @p keep_existing true (a resumed campaign, or
+     * a later driver sharing the journal) existing records are kept
+     * and new ones appended.
+     *
+     * @throws std::runtime_error if the file cannot be opened.
+     */
+    Journal(std::string path, bool keep_existing);
+
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Durably appends one record (locked, fsync()ed). */
+    void append(std::uint64_t key, const std::vector<double> &values);
+
+    const std::string &
+    path() const
+    {
+        return path_;
+    }
+
+    /**
+     * Loads every intact record of @p path into a key -> values map
+     * (last record wins). A missing file yields an empty map. A
+     * corrupt or torn record ends the scan: everything before it is
+     * returned, everything after is distrusted (append-only order
+     * means later records were written after the damage).
+     */
+    static std::unordered_map<std::uint64_t, std::vector<double>>
+    load(const std::string &path);
+
+  private:
+    std::mutex mutex_;
+    std::string path_;
+    int fd_ = -1;
+};
+
+} // namespace swcc::campaign
+
+#endif // SWCC_CORE_CAMPAIGN_JOURNAL_HH

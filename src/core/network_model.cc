@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/campaign/faults.hh"
 #include "core/obs/metrics.hh"
 
 namespace swcc
@@ -100,6 +101,11 @@ solveComputeFractionK(double rate, double size, unsigned stages,
 #else
     (void)iterations;
 #endif
+    campaign::checkFault(campaign::FaultSite::SolverNet);
+    if (!(hi - lo < 1e-6)) {
+        throw campaign::SolverNonConvergence(
+            "network fixed point failed to bracket U");
+    }
     return 0.5 * (lo + hi);
 }
 
@@ -183,6 +189,11 @@ solveComputeFraction(double rate, double size, unsigned stages)
 #else
     (void)iterations;
 #endif
+    campaign::checkFault(campaign::FaultSite::SolverNet);
+    if (!(hi - lo < 1e-6)) {
+        throw campaign::SolverNonConvergence(
+            "network fixed point failed to bracket U");
+    }
     return 0.5 * (lo + hi);
 }
 

@@ -1,11 +1,11 @@
 #include "core/obs/metrics.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/campaign/atomic_file.hh"
 #include "core/obs/json.hh"
 
 namespace swcc::obs
@@ -289,19 +289,13 @@ writeMetricsCsv(std::ostream &os)
 std::string
 writeMetricsFile(const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os) {
-        throw std::runtime_error("cannot open " + path +
-                                 " for writing");
-    }
-    if (path.ends_with(".csv")) {
-        writeMetricsCsv(os);
-    } else {
-        writeMetricsJson(os);
-    }
-    if (!os.flush()) {
-        throw std::runtime_error("failed to write " + path);
-    }
+    campaign::atomicWriteFile(path, [&](std::ostream &os) {
+        if (path.ends_with(".csv")) {
+            writeMetricsCsv(os);
+        } else {
+            writeMetricsJson(os);
+        }
+    });
     return path;
 }
 

@@ -1,12 +1,12 @@
 #include "core/obs/trace.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/campaign/atomic_file.hh"
 #include "core/obs/json.hh"
 #include "core/obs/log.hh"
 
@@ -311,21 +311,14 @@ TraceRecorder::clearForTest()
 std::string
 writeChromeTraceFile(const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os) {
-        throw std::runtime_error("cannot open " + path +
-                                 " for writing");
-    }
     const std::uint64_t dropped = tracer().droppedRecords();
     if (dropped > 0) {
         SWCC_LOG_INFO("trace ring overwrote " +
                       std::to_string(dropped) +
                       " oldest records; timeline is truncated");
     }
-    tracer().writeChromeTrace(os);
-    if (!os.flush()) {
-        throw std::runtime_error("failed to write " + path);
-    }
+    campaign::atomicWriteFile(
+        path, [&](std::ostream &os) { tracer().writeChromeTrace(os); });
     return path;
 }
 

@@ -368,4 +368,75 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     globalPool().forEach(n, fn);
 }
 
+ResilienceStats
+parallelForResilient(std::size_t n,
+                     const std::function<void(std::size_t)> &fn,
+                     const TaskPolicy &policy,
+                     std::vector<TaskOutcome> *outcomes)
+{
+    if (outcomes != nullptr) {
+        outcomes->assign(n, TaskOutcome::Done);
+    }
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> poisoned{0};
+    std::atomic<std::uint64_t> timeouts{0};
+
+    parallelFor(n, [&](std::size_t i) {
+        for (unsigned attempt = 0;; ++attempt) {
+            bool failed = false;
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                fn(i);
+            } catch (const FatalTaskError &) {
+                throw; // Job-fatal: the pool rethrows to the caller.
+            } catch (const TaskTimeoutError &) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                failed = true;
+            } catch (...) {
+                failed = true;
+            }
+            if (!failed && policy.timeoutMs > 0) {
+                const auto elapsed =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                if (static_cast<std::uint64_t>(
+                        elapsed > 0 ? elapsed : 0) > policy.timeoutMs) {
+                    // Over budget: the attempt's result is distrusted
+                    // — a hung-then-finished cell and a failed cell
+                    // get the same degradation path.
+                    timeouts.fetch_add(1, std::memory_order_relaxed);
+                    failed = true;
+                }
+            }
+            if (!failed) {
+                return;
+            }
+            if (attempt >= policy.maxRetries) {
+                poisoned.fetch_add(1, std::memory_order_relaxed);
+                if (outcomes != nullptr) {
+                    (*outcomes)[i] = TaskOutcome::Poisoned;
+                }
+                return;
+            }
+            retries.fetch_add(1, std::memory_order_relaxed);
+            std::uint64_t delay = policy.backoffBaseMs;
+            for (unsigned d = 0; d < attempt; ++d) {
+                delay = std::min(delay * 2, policy.backoffCapMs);
+            }
+            if (delay > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        std::min(delay, policy.backoffCapMs)));
+            }
+        }
+    });
+
+    ResilienceStats stats;
+    stats.retries = retries.load(std::memory_order_relaxed);
+    stats.poisoned = poisoned.load(std::memory_order_relaxed);
+    stats.timeouts = timeouts.load(std::memory_order_relaxed);
+    return stats;
+}
+
 } // namespace swcc

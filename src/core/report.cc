@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/campaign/atomic_file.hh"
 
 namespace swcc
 {
@@ -111,11 +112,10 @@ exportCsv(const TextTable &table, const std::string &name,
 {
     std::filesystem::create_directories(directory);
     const std::string path = directory + "/" + name + ".csv";
-    std::ofstream os(path);
-    if (!os) {
-        throw std::runtime_error("cannot write " + path);
-    }
-    table.printCsv(os);
+    // Atomic: an interrupted bench must not leave a truncated CSV
+    // that parses as a complete (but short) result set.
+    campaign::atomicWriteFile(
+        path, [&](std::ostream &os) { table.printCsv(os); });
     return path;
 }
 
@@ -155,6 +155,9 @@ AsciiChart::print(std::ostream &os) const
     bool first = true;
     for (const Series &series : series_) {
         for (const SeriesPoint &p : series.points) {
+            if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+                continue; // Poisoned campaign cells plot as gaps.
+            }
             if (first) {
                 x_lo = x_hi = p.x;
                 y_hi = p.y;
@@ -201,6 +204,9 @@ AsciiChart::print(std::ostream &os) const
     for (std::size_t s = 0; s < series_.size(); ++s) {
         const char marker = marker_for(s);
         for (const SeriesPoint &p : series_[s].points) {
+            if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+                continue;
+            }
             const double fx = (p.x - x_lo) / (x_hi - x_lo);
             const double fy = (p.y - y_lo) / (y_hi - y_lo);
             if (fy < 0.0 || fy > 1.0) {

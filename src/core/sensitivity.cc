@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "core/campaign/cell_hash.hh"
 #include "core/obs/progress.hh"
 #include "core/parallel.hh"
 #include "core/scheme_evaluator.hh"
@@ -100,6 +101,14 @@ parameterSensitivity(Scheme scheme, ParamId param,
 std::vector<SensitivityEntry>
 sensitivityTable(const SensitivityConfig &config)
 {
+    return sensitivityTable(config, campaign::CampaignOptions{});
+}
+
+std::vector<SensitivityEntry>
+sensitivityTable(const SensitivityConfig &config,
+                 const campaign::CampaignOptions &options,
+                 campaign::CampaignReport *report)
+{
     // Table 8 column order.
     constexpr std::array<Scheme, kNumSchemes> column_order = {
         Scheme::SoftwareFlush, Scheme::NoCache, Scheme::Dragon,
@@ -123,12 +132,35 @@ sensitivityTable(const SensitivityConfig &config)
         }
     }
     obs::ProgressReporter progress("sensitivity", cells.size());
-    return parallelMap(cells.size(), [&](std::size_t i) {
-        SensitivityEntry entry = parameterSensitivity(
-            cells[i].scheme, cells[i].param, config);
-        progress.tick();
-        return entry;
-    });
+    const auto results = campaign::runCells(
+        cells.size(), 3,
+        [&](std::size_t i) {
+            return campaign::CellKey("sensitivity")
+                .add(paramName(cells[i].param))
+                .add(schemeName(cells[i].scheme))
+                .add(static_cast<std::uint64_t>(config.processors))
+                .add(static_cast<std::uint64_t>(
+                    config.averageOverGrid ? 1 : 0))
+                .hash();
+        },
+        [&](std::size_t i) {
+            const SensitivityEntry entry = parameterSensitivity(
+                cells[i].scheme, cells[i].param, config);
+            progress.tick();
+            return std::vector<double>{
+                entry.timeLow, entry.timeHigh, entry.percentChange};
+        },
+        options, report);
+
+    std::vector<SensitivityEntry> table(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        table[i].param = cells[i].param;
+        table[i].scheme = cells[i].scheme;
+        table[i].timeLow = results[i][0];
+        table[i].timeHigh = results[i][1];
+        table[i].percentChange = results[i][2];
+    }
+    return table;
 }
 
 std::vector<SensitivityEntry>

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign/campaign.hh"
 #include "core/types.hh"
 #include "core/workload.hh"
 
@@ -78,6 +79,35 @@ Series networkPowerSeries(Scheme scheme, const WorkloadParams &params,
  */
 Series networkUtilizationSeries(unsigned stages, double message_words,
                                 const std::vector<double> &rates);
+
+/** One row of a campaign sweep grid: x plus one power per scheme. */
+struct SweepRow
+{
+    double value = 0.0;
+    /** Bus processing power, parallel to the schemes argument. */
+    std::vector<double> power;
+};
+
+/**
+ * The `swcc sweep` grid as a resumable campaign: one journaled cell
+ * per swept value, each evaluating every scheme in @p schemes.
+ *
+ * @param param     Parameter to sweep (ignored when @p sweep_apl).
+ * @param sweep_apl Sweep apl directly instead of a Table 2 parameter.
+ * @param values    Swept parameter values, one cell per value.
+ * @param base      Remaining workload parameters.
+ * @param processors Bus system size.
+ * @param schemes   Schemes evaluated per cell (row width).
+ * @param options   Journal / resume / retry policy (campaign.hh).
+ * @param report    Campaign accounting when non-null.
+ */
+std::vector<SweepRow>
+sweepPowerGrid(ParamId param, bool sweep_apl,
+               const std::vector<double> &values,
+               const WorkloadParams &base, unsigned processors,
+               const std::vector<Scheme> &schemes,
+               const campaign::CampaignOptions &options,
+               campaign::CampaignReport *report = nullptr);
 
 } // namespace swcc
 

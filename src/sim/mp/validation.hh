@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/bus_model.hh"
+#include "core/campaign/campaign.hh"
 #include "core/types.hh"
 #include "sim/cache/cache_config.hh"
 #include "sim/mp/sim_stats.hh"
@@ -71,6 +72,19 @@ ValidationPoint validatePoint(const ValidationConfig &config, CpuId cpus);
  * paper's hardware-coherent traces ruled out).
  */
 std::vector<ValidationPoint> validate(const ValidationConfig &config);
+
+/**
+ * validate() as a resumable campaign: one journaled cell per
+ * processor count. Cells satisfied from the journal (and poisoned
+ * cells, which surface as NaN powers) carry only simPower and
+ * modelPower — the detailed model / sim sub-structures are populated
+ * only for cells evaluated in this run. The parameterless overload
+ * delegates here with journaling disabled.
+ */
+std::vector<ValidationPoint>
+validate(const ValidationConfig &config,
+         const campaign::CampaignOptions &options,
+         campaign::CampaignReport *report = nullptr);
 
 } // namespace swcc
 

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/campaign/atomic_file.hh"
+#include "core/campaign/faults.hh"
 #include "core/obs/log.hh"
 
 namespace swcc
@@ -233,21 +235,26 @@ readTextTrace(std::istream &is)
 void
 saveTrace(const TraceBuffer &trace, const std::string &path)
 {
+    // Atomic (temp + fsync + rename): a run killed mid-save can never
+    // leave a truncated trace that a later campaign mistakes for a
+    // complete one.
     const bool binary = path.ends_with(".swcc");
-    std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
-    if (!os) {
-        throw std::runtime_error("cannot open " + path + " for writing");
-    }
-    if (binary) {
-        writeBinaryTrace(trace, os);
-    } else {
-        writeTextTrace(trace, os);
-    }
+    campaign::atomicWriteFile(
+        path,
+        [&](std::ostream &os) {
+            if (binary) {
+                writeBinaryTrace(trace, os);
+            } else {
+                writeTextTrace(trace, os);
+            }
+        },
+        binary);
 }
 
 TraceBuffer
 loadTrace(const std::string &path)
 {
+    campaign::checkFault(campaign::FaultSite::TraceIo);
     const bool binary = path.ends_with(".swcc");
     std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
     if (!is) {

@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Unit tests for the resilient campaign engine: cell hashing, atomic
+ * artifact writes, the checksummed journal, fault injection, and the
+ * retry / poison / resume machinery of runCells(). Every suite name
+ * starts with "Campaign" so the tsan preset's test filter picks the
+ * whole file up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/campaign/atomic_file.hh"
+#include "core/campaign/campaign.hh"
+#include "core/campaign/cell_hash.hh"
+#include "core/campaign/faults.hh"
+#include "core/campaign/journal.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "core/workload.hh"
+#include "sim/trace/trace_io.hh"
+
+namespace swcc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+freshPath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + "/" + name;
+    fs::remove(path);
+    return path;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ua = 0, ub = 0;
+    std::memcpy(&ua, &a, sizeof(ua));
+    std::memcpy(&ub, &b, sizeof(ub));
+    return ua == ub;
+}
+
+// ---------------------------------------------------------------------
+// Cell identity hashing.
+
+TEST(CampaignCellKeyTest, SameFieldsSameHash)
+{
+    const std::uint64_t a = campaign::CellKey("sweep")
+        .add("shd").add(0.25).add(std::uint64_t{16}).hash();
+    const std::uint64_t b = campaign::CellKey("sweep")
+        .add("shd").add(0.25).add(std::uint64_t{16}).hash();
+    EXPECT_EQ(a, b);
+}
+
+TEST(CampaignCellKeyTest, FieldOrderAndValuesMatter)
+{
+    const std::uint64_t base = campaign::CellKey("sweep")
+        .add("shd").add(0.25).hash();
+    EXPECT_NE(base,
+              campaign::CellKey("sweep").add(0.25).add("shd").hash());
+    EXPECT_NE(base,
+              campaign::CellKey("sweep").add("shd").add(0.26).hash());
+    EXPECT_NE(base,
+              campaign::CellKey("other").add("shd").add(0.25).hash());
+    // Field framing: ("ab", "c") must not collide with ("a", "bc").
+    EXPECT_NE(campaign::CellKey("d").add("ab").add("c").hash(),
+              campaign::CellKey("d").add("a").add("bc").hash());
+}
+
+TEST(CampaignCellKeyTest, DoublesAreCanonicalised)
+{
+    // -0.0 and +0.0 compare equal, so they must hash equal; any NaN
+    // collapses to one canonical bit pattern.
+    EXPECT_EQ(campaign::CellKey("k").add(-0.0).hash(),
+              campaign::CellKey("k").add(0.0).hash());
+    const double nan1 = std::numeric_limits<double>::quiet_NaN();
+    const double nan2 = std::nan("0x5");
+    EXPECT_EQ(campaign::CellKey("k").add(nan1).hash(),
+              campaign::CellKey("k").add(nan2).hash());
+}
+
+TEST(CampaignCellKeyTest, WorkloadParamsChangeTheHash)
+{
+    WorkloadParams a = middleParams();
+    WorkloadParams b = middleParams();
+    EXPECT_EQ(campaign::CellKey("k").add(a).hash(),
+              campaign::CellKey("k").add(b).hash());
+    b.shd += 0.01;
+    EXPECT_NE(campaign::CellKey("k").add(a).hash(),
+              campaign::CellKey("k").add(b).hash());
+}
+
+// ---------------------------------------------------------------------
+// Atomic artifact writes.
+
+TEST(CampaignAtomicFileTest, WritesContentAndLeavesNoTempFiles)
+{
+    const std::string path = freshPath("atomic_basic.txt");
+    campaign::atomicWriteFile(
+        path, [](std::ostream &os) { os << "hello\nworld\n"; });
+    EXPECT_EQ(slurp(path), "hello\nworld\n");
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(path).parent_path())) {
+        EXPECT_EQ(entry.path().string().find(".tmp."),
+                  std::string::npos)
+            << "leftover temporary: " << entry.path();
+    }
+}
+
+TEST(CampaignAtomicFileTest, FailedWriteLeavesDestinationUntouched)
+{
+    const std::string path = freshPath("atomic_fail.txt");
+    campaign::atomicWriteFile(path,
+                              [](std::ostream &os) { os << "v1"; });
+    EXPECT_THROW(campaign::atomicWriteFile(
+                     path,
+                     [](std::ostream &os) {
+                         os << "partial v2";
+                         throw std::runtime_error("writer died");
+                     }),
+                 std::runtime_error);
+    EXPECT_EQ(slurp(path), "v1");
+}
+
+// ---------------------------------------------------------------------
+// Journal round trips.
+
+TEST(CampaignJournalTest, RoundTripsExactDoubleBits)
+{
+    const std::string path = freshPath("journal_roundtrip.journal");
+    const std::vector<double> values = {
+        1.0,
+        -0.0,
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::denorm_min(),
+        -123.456789012345678,
+    };
+    {
+        campaign::Journal journal(path, false);
+        journal.append(0xdeadbeefu, values);
+    }
+    const auto loaded = campaign::Journal::load(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    const auto it = loaded.find(0xdeadbeefu);
+    ASSERT_NE(it, loaded.end());
+    ASSERT_EQ(it->second.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_TRUE(sameBits(it->second[i], values[i]))
+            << "value " << i << " changed bits across the journal";
+    }
+}
+
+TEST(CampaignJournalTest, LastRecordWinsForDuplicateKeys)
+{
+    const std::string path = freshPath("journal_dup.journal");
+    {
+        campaign::Journal journal(path, false);
+        journal.append(7, {1.0});
+        journal.append(7, {2.0});
+    }
+    const auto loaded = campaign::Journal::load(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.at(7).front(), 2.0);
+}
+
+TEST(CampaignJournalTest, TornTailRecordIsDropped)
+{
+    const std::string path = freshPath("journal_torn.journal");
+    {
+        campaign::Journal journal(path, false);
+        journal.append(1, {1.0});
+        journal.append(2, {2.0});
+    }
+    {
+        // Simulate a crash mid-append: half a record at the tail.
+        std::ofstream os(path, std::ios::app | std::ios::binary);
+        os << "00000000000000c8 2 3ff00000000";
+    }
+    const auto loaded = campaign::Journal::load(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_TRUE(loaded.count(1));
+    EXPECT_TRUE(loaded.count(2));
+}
+
+TEST(CampaignJournalTest, CorruptionStopsTheScan)
+{
+    const std::string path = freshPath("journal_corrupt.journal");
+    {
+        campaign::Journal journal(path, false);
+        journal.append(1, {1.0});
+        journal.append(2, {2.0});
+        journal.append(3, {3.0});
+    }
+    std::string text = slurp(path);
+    // Flip one hex digit inside the second record's value field.
+    const std::size_t second = text.find('\n', text.find('\n') + 1) + 1;
+    const std::size_t digit = text.find(' ', second) + 3;
+    text[digit] = text[digit] == 'f' ? '0' : 'f';
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << text;
+    }
+    // Everything before the damage survives; nothing after is trusted.
+    const auto loaded = campaign::Journal::load(path);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.count(1));
+}
+
+TEST(CampaignJournalTest, MissingFileLoadsEmpty)
+{
+    EXPECT_TRUE(
+        campaign::Journal::load(freshPath("journal_missing.journal"))
+            .empty());
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+
+class CampaignFaultsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        campaign::clearFaults();
+    }
+
+    void
+    TearDown() override
+    {
+        campaign::clearFaults();
+    }
+};
+
+TEST_F(CampaignFaultsTest, BadSpecsAreRejected)
+{
+    EXPECT_THROW(campaign::configureFaults("bogus-site:1", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::configureFaults("solver-bus", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::configureFaults("solver-bus:abc", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::configureFaults("solver-bus:150%", 1),
+                 std::invalid_argument);
+}
+
+TEST_F(CampaignFaultsTest, CountModeFiresAnExactWindow)
+{
+    campaign::configureFaults("solver-net:2@3", 1);
+    const std::uint64_t before =
+        campaign::injectedCount(campaign::FaultSite::SolverNet);
+    std::vector<bool> fired;
+    for (int i = 0; i < 10; ++i) {
+        bool threw = false;
+        try {
+            campaign::checkFault(campaign::FaultSite::SolverNet);
+        } catch (const campaign::SolverNonConvergence &) {
+            threw = true;
+        }
+        fired.push_back(threw);
+    }
+    const std::vector<bool> expected = {
+        false, false, false, true, true,
+        false, false, false, false, false,
+    };
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(campaign::injectedCount(campaign::FaultSite::SolverNet),
+              before + 2);
+}
+
+TEST_F(CampaignFaultsTest, ProbabilityModeIsSeedDeterministic)
+{
+    auto pattern = [](std::uint64_t seed) {
+        campaign::clearFaults();
+        campaign::configureFaults("solver-bus:50%", seed);
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i) {
+            bool threw = false;
+            try {
+                campaign::checkFault(campaign::FaultSite::SolverBus);
+            } catch (const campaign::SolverNonConvergence &) {
+                threw = true;
+            }
+            fired.push_back(threw);
+        }
+        return fired;
+    };
+    EXPECT_EQ(pattern(42), pattern(42));
+}
+
+TEST_F(CampaignFaultsTest, SitesThrowTheirCharacteristicExceptions)
+{
+    campaign::configureFaults(
+        "trace-io:1,task-kill:1,task-timeout:1", 1);
+    EXPECT_THROW(campaign::checkFault(campaign::FaultSite::TraceIo),
+                 campaign::InjectedIoFailure);
+    EXPECT_THROW(campaign::checkFault(campaign::FaultSite::TaskKill),
+                 campaign::TaskKilled);
+    EXPECT_THROW(campaign::checkFault(campaign::FaultSite::TaskTimeout),
+                 TaskTimeoutError);
+}
+
+TEST_F(CampaignFaultsTest, TraceLoadHonoursInjectedIoFailure)
+{
+    const std::string path = freshPath("faulty_trace.txt");
+    TraceBuffer trace;
+    trace.append({0x100, 0, RefType::Load});
+    saveTrace(trace, path);
+
+    campaign::configureFaults("trace-io:1", 1);
+    EXPECT_THROW(loadTrace(path), campaign::InjectedIoFailure);
+    // The injection window is spent; the retry succeeds.
+    const TraceBuffer reloaded = loadTrace(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// runCells: retry, poison, resume.
+
+class CampaignRunCellsTest : public CampaignFaultsTest
+{
+  protected:
+    /** Deterministic two-wide cell payload. */
+    static std::vector<double>
+    payload(std::size_t i)
+    {
+        const double x = static_cast<double>(i);
+        return {x * 1.5 + 0.25, std::sqrt(x + 1.0)};
+    }
+
+    static std::uint64_t
+    keyOf(std::size_t i)
+    {
+        return campaign::CellKey("test")
+            .add(static_cast<std::uint64_t>(i))
+            .hash();
+    }
+};
+
+TEST_F(CampaignRunCellsTest, ComputesEveryCellWithoutJournal)
+{
+    campaign::CampaignReport report;
+    const auto results = campaign::runCells(
+        8, 2, keyOf, [](std::size_t i) { return payload(i); },
+        campaign::CampaignOptions{}, &report);
+    ASSERT_EQ(results.size(), 8u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i], payload(i));
+    }
+    EXPECT_EQ(report.cells, 8u);
+    EXPECT_EQ(report.executed, 8u);
+    EXPECT_EQ(report.fromJournal, 0u);
+    EXPECT_EQ(report.retries, 0u);
+}
+
+TEST_F(CampaignRunCellsTest, ResumeUsesTheJournalInsteadOfEval)
+{
+    campaign::CampaignOptions options;
+    options.journalPath = freshPath("runcells_resume.journal");
+    const auto first = campaign::runCells(
+        6, 2, keyOf, [](std::size_t i) { return payload(i); }, options);
+
+    options.resume = true;
+    campaign::CampaignReport report;
+    const auto second = campaign::runCells(
+        6, 2, keyOf,
+        [](std::size_t i) -> std::vector<double> {
+            ADD_FAILURE() << "cell " << i
+                          << " recomputed despite a full journal";
+            return payload(i);
+        },
+        options, &report);
+    EXPECT_EQ(report.fromJournal, 6u);
+    EXPECT_EQ(report.executed, 0u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        ASSERT_EQ(second[i].size(), first[i].size());
+        for (std::size_t j = 0; j < first[i].size(); ++j) {
+            EXPECT_TRUE(sameBits(second[i][j], first[i][j]));
+        }
+    }
+}
+
+TEST_F(CampaignRunCellsTest, KillThenResumeIsByteIdentical)
+{
+    const auto baseline = campaign::runCells(
+        10, 2, keyOf, [](std::size_t i) { return payload(i); },
+        campaign::CampaignOptions{});
+
+    campaign::CampaignOptions options;
+    options.journalPath = freshPath("runcells_kill.journal");
+    options.faultSpec = "task-kill:1@4"; // Kill the 5th task started.
+    EXPECT_THROW(campaign::runCells(
+                     10, 2, keyOf,
+                     [](std::size_t i) { return payload(i); }, options),
+                 FatalTaskError);
+
+    // "New process": fault config gone, resume from the journal.
+    campaign::clearFaults();
+    options.faultSpec.clear();
+    options.resume = true;
+    campaign::CampaignReport report;
+    const auto resumed = campaign::runCells(
+        10, 2, keyOf, [](std::size_t i) { return payload(i); },
+        options, &report);
+
+    EXPECT_GT(report.fromJournal, 0u);
+    EXPECT_EQ(report.fromJournal + report.executed, 10u);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        ASSERT_EQ(resumed[i].size(), baseline[i].size());
+        for (std::size_t j = 0; j < baseline[i].size(); ++j) {
+            EXPECT_TRUE(sameBits(resumed[i][j], baseline[i][j]))
+                << "cell " << i << " value " << j
+                << " differs after resume";
+        }
+    }
+}
+
+TEST_F(CampaignRunCellsTest, RetriesRecoverInjectedSolverFaults)
+{
+    const std::uint64_t before =
+        campaign::injectedCount(campaign::FaultSite::SolverBus);
+    campaign::CampaignOptions options;
+    options.faultSpec = "solver-bus:2";
+    campaign::CampaignReport report;
+    const auto results = campaign::runCells(
+        4, 2, keyOf,
+        [](std::size_t i) {
+            campaign::checkFault(campaign::FaultSite::SolverBus);
+            return payload(i);
+        },
+        options, &report);
+    // Exactly two injections, both recovered by retries: no poison,
+    // every cell correct.
+    EXPECT_EQ(campaign::injectedCount(campaign::FaultSite::SolverBus),
+              before + 2);
+    EXPECT_EQ(report.retries, 2u);
+    EXPECT_EQ(report.poisoned, 0u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i], payload(i));
+    }
+}
+
+TEST_F(CampaignRunCellsTest, ExhaustedRetriesPoisonTheCell)
+{
+    campaign::CampaignOptions options;
+    options.faultSpec = "solver-bus:1000";
+    options.policy.maxRetries = 1;
+    options.journalPath = freshPath("runcells_poison.journal");
+    campaign::CampaignReport report;
+    const auto results = campaign::runCells(
+        3, 2, keyOf,
+        [](std::size_t i) {
+            campaign::checkFault(campaign::FaultSite::SolverBus);
+            return payload(i);
+        },
+        options, &report);
+    EXPECT_EQ(report.poisoned, 3u);
+    EXPECT_EQ(report.retries, 3u); // One retry per cell, then poison.
+    for (const auto &row : results) {
+        ASSERT_EQ(row.size(), 2u);
+        EXPECT_TRUE(std::isnan(row[0]));
+        EXPECT_TRUE(std::isnan(row[1]));
+    }
+
+    // Poisoned cells are journaled, so a resumed run reproduces the
+    // same NaN rows without re-running the failing cells.
+    campaign::clearFaults();
+    options.faultSpec.clear();
+    options.resume = true;
+    campaign::CampaignReport resumed_report;
+    const auto resumed = campaign::runCells(
+        3, 2, keyOf,
+        [](std::size_t i) -> std::vector<double> {
+            ADD_FAILURE() << "poisoned cell " << i << " recomputed";
+            return payload(i);
+        },
+        options, &resumed_report);
+    EXPECT_EQ(resumed_report.fromJournal, 3u);
+    for (const auto &row : resumed) {
+        EXPECT_TRUE(std::isnan(row[0]));
+    }
+}
+
+TEST_F(CampaignRunCellsTest, InjectedTimeoutIsRetriedAndCounted)
+{
+    campaign::CampaignOptions options;
+    options.faultSpec = "task-timeout:1";
+    campaign::CampaignReport report;
+    const auto results = campaign::runCells(
+        2, 2, keyOf, [](std::size_t i) { return payload(i); },
+        options, &report);
+    EXPECT_EQ(report.timeouts, 1u);
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_EQ(report.poisoned, 0u);
+    EXPECT_EQ(results[0], payload(0));
+    EXPECT_EQ(results[1], payload(1));
+}
+
+TEST_F(CampaignRunCellsTest, MeasuredOverrunPoisonsTheCell)
+{
+    campaign::CampaignOptions options;
+    options.policy.timeoutMs = 1;
+    options.policy.maxRetries = 0;
+    campaign::CampaignReport report;
+    const auto results = campaign::runCells(
+        1, 1,
+        [](std::size_t) { return std::uint64_t{99}; },
+        [](std::size_t) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(30));
+            return std::vector<double>{1.0};
+        },
+        options, &report);
+    EXPECT_EQ(report.timeouts, 1u);
+    EXPECT_EQ(report.poisoned, 1u);
+    EXPECT_TRUE(std::isnan(results[0][0]));
+}
+
+// ---------------------------------------------------------------------
+// The real drivers on top of runCells.
+
+TEST_F(CampaignRunCellsTest, SweepGridKillThenResumeIsByteIdentical)
+{
+    const std::vector<Scheme> schemes = {
+        Scheme::Base, Scheme::Dragon, Scheme::SoftwareFlush,
+        Scheme::NoCache,
+    };
+    const std::vector<double> values = linspace(0.05, 0.5, 7);
+    const WorkloadParams base = middleParams();
+
+    const auto baseline =
+        sweepPowerGrid(ParamId::Shd, false, values, base, 16, schemes,
+                       campaign::CampaignOptions{});
+
+    campaign::CampaignOptions options;
+    options.journalPath = freshPath("sweep_kill.journal");
+    options.faultSpec = "task-kill:1@3";
+    EXPECT_THROW(sweepPowerGrid(ParamId::Shd, false, values, base, 16,
+                                schemes, options),
+                 FatalTaskError);
+
+    campaign::clearFaults();
+    options.faultSpec.clear();
+    options.resume = true;
+    campaign::CampaignReport report;
+    const auto resumed = sweepPowerGrid(ParamId::Shd, false, values,
+                                        base, 16, schemes, options,
+                                        &report);
+    EXPECT_GT(report.fromJournal, 0u);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_TRUE(sameBits(resumed[i].value, baseline[i].value));
+        ASSERT_EQ(resumed[i].power.size(), baseline[i].power.size());
+        for (std::size_t s = 0; s < baseline[i].power.size(); ++s) {
+            EXPECT_TRUE(
+                sameBits(resumed[i].power[s], baseline[i].power[s]))
+                << "row " << i << " scheme " << s;
+        }
+    }
+}
+
+TEST_F(CampaignRunCellsTest, SensitivityResumeMatchesBaseline)
+{
+    SensitivityConfig config;
+    config.processors = 8;
+
+    const auto baseline = sensitivityTable(config);
+
+    campaign::CampaignOptions options;
+    options.journalPath = freshPath("sensitivity_kill.journal");
+    options.faultSpec = "task-kill:1@10";
+    EXPECT_THROW(sensitivityTable(config, options), FatalTaskError);
+
+    campaign::clearFaults();
+    options.faultSpec.clear();
+    options.resume = true;
+    campaign::CampaignReport report;
+    const auto resumed = sensitivityTable(config, options, &report);
+    EXPECT_GT(report.fromJournal, 0u);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(resumed[i].param, baseline[i].param);
+        EXPECT_EQ(resumed[i].scheme, baseline[i].scheme);
+        EXPECT_TRUE(
+            sameBits(resumed[i].timeLow, baseline[i].timeLow));
+        EXPECT_TRUE(
+            sameBits(resumed[i].timeHigh, baseline[i].timeHigh));
+        EXPECT_TRUE(sameBits(resumed[i].percentChange,
+                             baseline[i].percentChange));
+    }
+}
+
+} // namespace
+} // namespace swcc

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cli/commands.hh"
+#include "core/campaign/faults.hh"
 #include "core/parallel.hh"
 #include "core/workload.hh"
 #include "cli/options.hh"
@@ -267,6 +269,102 @@ TEST(CliTest, SweepNeedsParam)
     std::string output;
     EXPECT_EQ(runCli({"sweep", "--from", "0", "--to", "1"}, &output), 2);
     EXPECT_NE(output.find("--param"), std::string::npos);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(CliCampaignTest, ResumeNeedsJournal)
+{
+    std::string output;
+    EXPECT_EQ(runCli({"sweep", "--param", "shd", "--resume"}, &output),
+              2);
+    EXPECT_NE(output.find("--journal"), std::string::npos);
+}
+
+TEST(CliCampaignTest, InterruptedSweepResumesByteIdentically)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string journal = dir + "/cli_sweep.journal";
+    const std::string fresh_csv = dir + "/cli_fresh.csv";
+    const std::string resumed_csv = dir + "/cli_resumed.csv";
+    std::remove(journal.c_str());
+    std::remove(fresh_csv.c_str());
+    std::remove(resumed_csv.c_str());
+
+    // Reference: one uninterrupted run.
+    std::string output;
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--points", "7",
+                      "--cpus", "8", "--csv-out", fresh_csv},
+                     &output),
+              0);
+
+    // The same sweep killed mid-campaign by an injected task kill:
+    // exit code 3, a journal with the completed cells, and no CSV.
+    const std::string partial_csv = dir + "/cli_partial.csv";
+    std::remove(partial_csv.c_str());
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--points", "7",
+                      "--cpus", "8", "--journal", journal,
+                      "--csv-out", partial_csv, "--fault-inject",
+                      "task-kill:1@2"},
+                     &output),
+              3);
+    EXPECT_NE(output.find("--resume"), std::string::npos);
+    EXPECT_FALSE(std::ifstream(partial_csv).good())
+        << "an interrupted campaign must not leave a CSV artifact";
+
+    // Resume: recomputes only the missing cells; the CSV (and stdout
+    // table) must be byte-identical to the uninterrupted run.
+    campaign::clearFaults(); // The "new process" would start clean.
+    std::string fresh_stdout;
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--points", "7",
+                      "--cpus", "8"},
+                     &fresh_stdout),
+              0);
+    std::string resumed_stdout;
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--points", "7",
+                      "--cpus", "8", "--journal", journal, "--resume",
+                      "--csv-out", resumed_csv},
+                     &resumed_stdout),
+              0);
+    EXPECT_EQ(resumed_stdout, fresh_stdout);
+    EXPECT_EQ(readFile(resumed_csv), readFile(fresh_csv));
+    EXPECT_FALSE(readFile(resumed_csv).empty());
+
+    std::remove(journal.c_str());
+    std::remove(fresh_csv.c_str());
+    std::remove(resumed_csv.c_str());
+}
+
+TEST(CliCampaignTest, FaultySolverIsRetriedToSuccess)
+{
+    campaign::clearFaults();
+    const std::string dir = ::testing::TempDir();
+    const std::string journal = dir + "/cli_retry.journal";
+    std::remove(journal.c_str());
+
+    std::string faulty;
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--points", "5",
+                      "--cpus", "8", "--journal", journal,
+                      "--fault-inject", "solver-bus:2"},
+                     &faulty),
+              0);
+    campaign::clearFaults();
+    std::string clean;
+    ASSERT_EQ(runCli({"sweep", "--param", "shd", "--points", "5",
+                      "--cpus", "8"},
+                     &clean),
+              0);
+    // Two injected solver failures, both absorbed by retries: the
+    // output table is unaffected.
+    EXPECT_EQ(faulty, clean);
+    std::remove(journal.c_str());
 }
 
 } // namespace

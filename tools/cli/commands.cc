@@ -1,8 +1,11 @@
 #include "cli/commands.hh"
 
+#include <iostream>
 #include <ostream>
 #include <stdexcept>
 
+#include "core/campaign/atomic_file.hh"
+#include "core/campaign/campaign.hh"
 #include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "core/swcc.hh"
@@ -134,6 +137,64 @@ withGlobals(std::vector<std::string> extra)
     return extra;
 }
 
+/** Extra options of the campaign commands (sweep/sensitivity/validate). */
+std::vector<std::string>
+withCampaign(std::vector<std::string> extra)
+{
+    static const std::vector<std::string> kCampaignOptions = {
+        "journal", "resume", "csv-out", "task-retries",
+        "task-timeout-ms", "backoff-ms", "fault-inject",
+        "campaign-seed",
+    };
+    extra.insert(extra.end(), kCampaignOptions.begin(),
+                 kCampaignOptions.end());
+    return extra;
+}
+
+/** Builds the campaign configuration from the command line. */
+campaign::CampaignOptions
+campaignFromOptions(const Options &options)
+{
+    campaign::CampaignOptions campaign;
+    campaign.journalPath = options.valueOr("journal", "");
+    campaign.resume = options.has("resume");
+    if (campaign.resume && campaign.journalPath.empty()) {
+        throw std::invalid_argument("--resume needs --journal FILE");
+    }
+    campaign.policy.maxRetries = options.unsignedOr(
+        "task-retries", campaign.policy.maxRetries);
+    campaign.policy.timeoutMs =
+        options.unsignedOr("task-timeout-ms", 0);
+    campaign.policy.backoffBaseMs = options.unsignedOr(
+        "backoff-ms",
+        static_cast<unsigned>(campaign.policy.backoffBaseMs));
+    campaign.seed = options.unsignedOr("campaign-seed", 1);
+    campaign.faultSpec = options.valueOr("fault-inject", "");
+    return campaign;
+}
+
+/**
+ * Post-campaign bookkeeping shared by the campaign commands: the
+ * optional CSV artifact (atomic, so an interrupted write never leaves
+ * a plausible-looking truncated file) and the resilience summary. The
+ * summary goes to stderr — stdout and the CSV must stay byte-identical
+ * between a fresh run and a resumed one, and "N from journal" differs.
+ */
+void
+finishCampaign(const Options &options, const TextTable &table,
+               const campaign::CampaignOptions &campaign,
+               const campaign::CampaignReport &report)
+{
+    if (const auto path = options.value("csv-out")) {
+        campaign::atomicWriteFile(
+            *path, [&](std::ostream &os) { table.printCsv(os); });
+    }
+    if (!campaign.journalPath.empty()) {
+        std::cerr << "campaign: " << report.summary()
+                  << " (journal: " << campaign.journalPath << ")\n";
+    }
+}
+
 } // namespace
 
 void
@@ -180,7 +241,29 @@ printUsage(std::ostream &out)
         "  --progress  rate/ETA progress lines on stderr for long\n"
         "            sweeps (throttled, TTY-aware)\n"
         "  --log-level LEVEL  trace|debug|info|warn|error|off\n"
-        "            (default: warn, or SWCC_LOG_LEVEL env var)\n";
+        "            (default: warn, or SWCC_LOG_LEVEL env var)\n"
+        "\n"
+        "campaign options (sweep, sensitivity, validate):\n"
+        "  --journal FILE  append each completed cell to a checksummed\n"
+        "            journal; an interrupted run exits 3 and can be\n"
+        "            continued with --resume, producing byte-identical\n"
+        "            output\n"
+        "  --resume  load the journal first and recompute only the\n"
+        "            missing cells (requires --journal)\n"
+        "  --csv-out FILE  also write the result table as CSV\n"
+        "            (atomic: temp file + fsync + rename)\n"
+        "  --task-retries N  retries per failing cell before it is\n"
+        "            poisoned to NaNs (default 2)\n"
+        "  --task-timeout-ms N  per-cell time budget; overruns count\n"
+        "            as failures (default: unlimited)\n"
+        "  --backoff-ms N  base of the exponential retry backoff\n"
+        "            (default 1)\n"
+        "  --fault-inject SPEC  deterministic fault injection, e.g.\n"
+        "            'solver-bus:2' or 'trace-io:10%' (see also the\n"
+        "            SWCC_FAULT_INJECT env var); sites: trace-io,\n"
+        "            solver-bus, solver-net, task-kill, task-timeout\n"
+        "  --campaign-seed N  seed for probabilistic fault injection\n"
+        "            (default 1)\n";
 }
 
 int
@@ -333,8 +416,9 @@ cmdSim(const Options &options, std::ostream &out)
 int
 cmdValidate(const Options &options, std::ostream &out)
 {
-    options.requireKnown(withGlobals(
-        {"profile", "scheme", "cpus", "instructions", "cache", "seed"}));
+    options.requireKnown(withCampaign(withGlobals(
+        {"profile", "scheme", "cpus", "instructions", "cache",
+         "seed"})));
     ValidationConfig config;
     config.profile =
         profileFromName(options.valueOr("profile", "pops-like"));
@@ -346,22 +430,28 @@ cmdValidate(const Options &options, std::ostream &out)
     config.cacheBytes = options.unsignedOr("cache", 64 * 1024);
     config.seed = options.unsignedOr("seed", 1);
 
+    const campaign::CampaignOptions campaign =
+        campaignFromOptions(options);
+    campaign::CampaignReport report;
+
     TextTable table({"cpus", "sim power", "model power", "error %"});
-    for (const ValidationPoint &point : validate(config)) {
+    for (const ValidationPoint &point :
+         validate(config, campaign, &report)) {
         table.addRow({formatNumber(point.cpus, 0),
                       formatNumber(point.simPower, 3),
                       formatNumber(point.modelPower, 3),
                       formatNumber(point.errorPercent(), 1)});
     }
     table.print(out);
+    finishCampaign(options, table, campaign, report);
     return 0;
 }
 
 int
 cmdSweep(const Options &options, std::ostream &out)
 {
-    options.requireKnown(withWorkload(
-        withGlobals({"param", "from", "to", "points", "cpus"})));
+    options.requireKnown(withWorkload(withCampaign(
+        withGlobals({"param", "from", "to", "points", "cpus"}))));
     const auto param_name = options.value("param");
     if (!param_name) {
         throw std::invalid_argument("sweep needs --param");
@@ -375,24 +465,28 @@ cmdSweep(const Options &options, std::ostream &out)
 
     WorkloadParams base = workloadFromOptions(options);
 
+    const std::vector<Scheme> schemes = {
+        Scheme::Base, Scheme::Dragon, Scheme::SoftwareFlush,
+        Scheme::NoCache,
+    };
+    const campaign::CampaignOptions campaign =
+        campaignFromOptions(options);
+    campaign::CampaignReport report;
+    const std::vector<SweepRow> rows =
+        sweepPowerGrid(param, sweep_apl, linspace(from, to, points),
+                       base, cpus, schemes, campaign, &report);
+
     TextTable table({*param_name, "Base", "Dragon", "Software-Flush",
                      "No-Cache"});
-    for (double value : linspace(from, to, points)) {
-        WorkloadParams params = base;
-        if (sweep_apl) {
-            params.apl = value;
-        } else {
-            setParam(params, param, value);
-        }
-        std::vector<std::string> row{formatNumber(value, 4)};
-        for (Scheme scheme : {Scheme::Base, Scheme::Dragon,
-                              Scheme::SoftwareFlush, Scheme::NoCache}) {
-            row.push_back(formatNumber(
-                evaluateBus(scheme, params, cpus).processingPower, 2));
+    for (const SweepRow &grid_row : rows) {
+        std::vector<std::string> row{formatNumber(grid_row.value, 4)};
+        for (double power : grid_row.power) {
+            row.push_back(formatNumber(power, 2));
         }
         table.addRow(std::move(row));
     }
     table.print(out);
+    finishCampaign(options, table, campaign, report);
     return 0;
 }
 
@@ -453,15 +547,20 @@ cmdNetwork(const Options &options, std::ostream &out)
 int
 cmdSensitivity(const Options &options, std::ostream &out)
 {
-    options.requireKnown(withGlobals({"cpus", "grid"}));
+    options.requireKnown(withCampaign(withGlobals({"cpus", "grid"})));
     SensitivityConfig config;
     config.processors = options.unsignedOr("cpus", 16);
     config.averageOverGrid = options.has("grid");
 
+    const campaign::CampaignOptions campaign =
+        campaignFromOptions(options);
+    campaign::CampaignReport campaign_report;
+
     out << "Sensitivity (% change in execution time, low -> high, "
         << config.processors << " CPUs"
         << (config.averageOverGrid ? ", grid-averaged" : "") << "):\n\n";
-    const auto table = sensitivityTable(config);
+    const auto table =
+        sensitivityTable(config, campaign, &campaign_report);
     TextTable report({"parameter", "Software-Flush", "No-Cache",
                       "Dragon", "Base"});
     for (ParamId param : kAllParams) {
@@ -478,6 +577,7 @@ cmdSensitivity(const Options &options, std::ostream &out)
         report.addRow(std::move(row));
     }
     report.print(out);
+    finishCampaign(options, report, campaign, campaign_report);
     return 0;
 }
 
@@ -554,6 +654,15 @@ run(const std::vector<std::string> &args, std::ostream &out)
         const int rc = dispatch();
         obs::finalize();
         return rc;
+    } catch (const FatalTaskError &error) {
+        // The campaign journaled every completed cell before dying,
+        // so the run is resumable; still flush metrics (fault and
+        // retry counters) for post-mortems.
+        obs::finalize();
+        out << "fatal: " << error.what() << '\n'
+            << "completed cells are journaled; rerun the same command "
+               "with --resume to continue\n";
+        return 3;
     } catch (const std::exception &error) {
         out << "error: " << error.what() << '\n';
         return 2;
