@@ -1,23 +1,18 @@
 /**
  * @file
- * google-benchmark timings for the analytical solvers, plus a
- * serial-vs-parallel comparison of the experiment engine. The paper's
+ * google-benchmark timings for the analytical solvers. The paper's
  * argument for an analytical model over simulation is evaluation
  * speed; these benchmarks quantify it (full model evaluations run in
- * microseconds, versus seconds for a trace-driven simulation), and the
- * parallel section quantifies what the thread pool buys on top —
- * writing the measured speedups to bench_results/ and checking that
- * the parallel results are bit-identical to the serial ones.
+ * microseconds, versus seconds for a trace-driven simulation). The
+ * curve and memo benchmarks measure the batched solver kernels: one
+ * MVA pass per power curve and memoized re-evaluation of repeated
+ * operating points. Thread scaling of the campaign engine lives in
+ * bench_perf_parallel.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <iostream>
-
 #include "core/swcc.hh"
-#include "sim/mp/validation.hh"
-#include "sim/synth/rng.hh"
 
 namespace
 {
@@ -50,6 +45,39 @@ BM_BusSolve(benchmark::State &state)
 BENCHMARK(BM_BusSolve)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void
+BM_BusSolveCurvePerPoint(benchmark::State &state)
+{
+    // The old per-point curve: N independent MVA recursions, O(N^2)
+    // recursion steps for an N-processor power curve.
+    const WorkloadParams params = middleParams();
+    const BusCostModel costs;
+    const PerInstructionCost cost = perInstructionCost(
+        operationFrequencies(Scheme::SoftwareFlush, params), costs);
+    const unsigned max = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        for (unsigned n = 1; n <= max; ++n) {
+            benchmark::DoNotOptimize(solveBus(cost, n));
+        }
+    }
+}
+BENCHMARK(BM_BusSolveCurvePerPoint)->Arg(32)->Arg(256);
+
+void
+BM_BusSolveCurve(benchmark::State &state)
+{
+    // The batched curve kernel: one O(N) recursion for the same curve.
+    const WorkloadParams params = middleParams();
+    const BusCostModel costs;
+    const PerInstructionCost cost = perInstructionCost(
+        operationFrequencies(Scheme::SoftwareFlush, params), costs);
+    const unsigned max = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solveBusCurve(cost, max));
+    }
+}
+BENCHMARK(BM_BusSolveCurve)->Arg(32)->Arg(256);
+
+void
 BM_NetworkFixedPoint(benchmark::State &state)
 {
     const unsigned stages = static_cast<unsigned>(state.range(0));
@@ -61,25 +89,63 @@ BM_NetworkFixedPoint(benchmark::State &state)
 BENCHMARK(BM_NetworkFixedPoint)->Arg(2)->Arg(8)->Arg(12);
 
 void
+BM_NetworkCurve(benchmark::State &state)
+{
+    // Batched bisection across a whole machine-size curve.
+    const WorkloadParams params = middleParams();
+    const unsigned max_stages = static_cast<unsigned>(state.range(0));
+    setSolverCacheEnabled(false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluateNetworkCurve(
+            Scheme::SoftwareFlush, params, max_stages));
+    }
+    setSolverCacheEnabled(true);
+}
+BENCHMARK(BM_NetworkCurve)->Arg(8)->Arg(12);
+
+void
 BM_FullBusEvaluation(benchmark::State &state)
 {
     const WorkloadParams params = middleParams();
+    setSolverCacheEnabled(false);
+    for (auto _ : state) {
+        for (Scheme scheme : kAllSchemes) {
+            benchmark::DoNotOptimize(evaluateBus(scheme, params, 16));
+        }
+    }
+    setSolverCacheEnabled(true);
+}
+BENCHMARK(BM_FullBusEvaluation);
+
+void
+BM_FullBusEvaluationMemoWarm(benchmark::State &state)
+{
+    // The same evaluations served from the solver memo: what a
+    // campaign pays when it revisits an operating point.
+    const WorkloadParams params = middleParams();
+    setSolverCacheEnabled(true);
+    clearSolverCache();
+    for (Scheme scheme : kAllSchemes) {
+        benchmark::DoNotOptimize(evaluateBus(scheme, params, 16));
+    }
     for (auto _ : state) {
         for (Scheme scheme : kAllSchemes) {
             benchmark::DoNotOptimize(evaluateBus(scheme, params, 16));
         }
     }
 }
-BENCHMARK(BM_FullBusEvaluation);
+BENCHMARK(BM_FullBusEvaluationMemoWarm);
 
 void
 BM_FullNetworkEvaluation(benchmark::State &state)
 {
     const WorkloadParams params = middleParams();
+    setSolverCacheEnabled(false);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             evaluateNetwork(Scheme::SoftwareFlush, params, 8));
     }
+    setSolverCacheEnabled(true);
 }
 BENCHMARK(BM_FullNetworkEvaluation);
 
@@ -89,155 +155,15 @@ BM_SensitivityTable(benchmark::State &state)
     SensitivityConfig config;
     config.averageOverGrid = true;
     setThreadCount(static_cast<unsigned>(state.range(0)));
+    setSolverCacheEnabled(false);
     for (auto _ : state) {
         benchmark::DoNotOptimize(sensitivityTable(config));
     }
+    setSolverCacheEnabled(true);
     setThreadCount(0);
 }
 BENCHMARK(BM_SensitivityTable)->Arg(1)->Arg(0);
 
-/** Wall-clock seconds of @p body, best of @p reps runs. */
-template <typename Body>
-double
-bestOf(int reps, Body &&body)
-{
-    using clock = std::chrono::steady_clock;
-    double best = 1e300;
-    for (int rep = 0; rep < reps; ++rep) {
-        const auto start = clock::now();
-        body();
-        const std::chrono::duration<double> elapsed =
-            clock::now() - start;
-        best = std::min(best, elapsed.count());
-    }
-    return best;
-}
-
-/** The grid-averaged Table 8 (108 cells x 27-point companion grids). */
-std::vector<SensitivityEntry>
-sensitivityWork()
-{
-    SensitivityConfig config;
-    config.averageOverGrid = true;
-    return sensitivityTable(config);
-}
-
-/**
- * A small validation matrix: one trace-driven simulator instance per
- * (scheme, cpus) cell, every cell seeded from its index via Rng::split
- * so the matrix is identical however the cells are scheduled.
- */
-std::vector<ValidationPoint>
-validationWork()
-{
-    const Rng seeder(1989);
-    std::vector<ValidationPoint> matrix;
-    std::uint64_t cell = 0;
-    for (Scheme scheme : {Scheme::Base, Scheme::Dragon}) {
-        ValidationConfig config;
-        config.scheme = scheme;
-        config.maxCpus = 4;
-        config.instructionsPerCpu = 40'000;
-        config.seed = seeder.split(cell++).next();
-        const auto points = validate(config);
-        matrix.insert(matrix.end(), points.begin(), points.end());
-    }
-    return matrix;
-}
-
-bool
-identicalSensitivity(const std::vector<SensitivityEntry> &a,
-                     const std::vector<SensitivityEntry> &b)
-{
-    if (a.size() != b.size()) {
-        return false;
-    }
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].timeLow != b[i].timeLow ||
-            a[i].timeHigh != b[i].timeHigh ||
-            a[i].percentChange != b[i].percentChange) {
-            return false;
-        }
-    }
-    return true;
-}
-
-bool
-identicalValidation(const std::vector<ValidationPoint> &a,
-                    const std::vector<ValidationPoint> &b)
-{
-    if (a.size() != b.size()) {
-        return false;
-    }
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].simPower != b[i].simPower ||
-            a[i].modelPower != b[i].modelPower) {
-            return false;
-        }
-    }
-    return true;
-}
-
-/**
- * Times the experiment engine serial vs parallel, verifies the results
- * are bit-identical, and leaves the numbers in
- * bench_results/perf_parallel_speedup.csv.
- */
-void
-reportParallelSpeedup()
-{
-    const unsigned parallel_threads = std::max(4u, hardwareThreads());
-
-    std::cout << "\n=== Parallel experiment engine: serial vs "
-              << parallel_threads << " threads ("
-              << hardwareThreads() << " hardware) ===\n\n";
-
-    TextTable table({"experiment", "serial ms", "parallel ms",
-                     "speedup", "threads", "identical"});
-
-    const auto report = [&](const std::string &name, auto work,
-                            auto identical) {
-        setThreadCount(1);
-        const auto serial_result = work();
-        const double serial = bestOf(3, [&] {
-            benchmark::DoNotOptimize(work());
-        });
-        setThreadCount(parallel_threads);
-        const auto parallel_result = work();
-        const double parallel = bestOf(3, [&] {
-            benchmark::DoNotOptimize(work());
-        });
-        setThreadCount(0);
-        table.addRow({name, formatNumber(serial * 1e3, 1),
-                      formatNumber(parallel * 1e3, 1),
-                      formatNumber(serial / parallel, 2) + "x",
-                      std::to_string(parallel_threads),
-                      identical(serial_result, parallel_result)
-                          ? "yes" : "NO"});
-    };
-
-    report("sensitivity grid (Table 8)", sensitivityWork,
-           identicalSensitivity);
-    report("validation matrix (2 schemes x 4 cpus)", validationWork,
-           identicalValidation);
-
-    table.print(std::cout);
-    std::cout << '\n' << exportCsv(table, "perf_parallel_speedup")
-              << " written (speedup tracks physical cores; results "
-                 "are bit-identical by construction)\n";
-}
-
 } // namespace
 
-int
-main(int argc, char **argv)
-{
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-        return 1;
-    }
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    reportParallelSpeedup();
-    return 0;
-}
+BENCHMARK_MAIN();

@@ -94,6 +94,87 @@ solveBus(const PerInstructionCost &cost, unsigned processors)
     return sol;
 }
 
+std::vector<BusSolution>
+solveBusCurve(const PerInstructionCost &cost, unsigned max_processors)
+{
+    if (max_processors == 0) {
+        throw std::invalid_argument("need at least one processor");
+    }
+    if (cost.channel < 0.0) {
+        throw std::invalid_argument("bus demand b must be non-negative");
+    }
+    if (cost.cpu < cost.channel) {
+        throw std::invalid_argument(
+            "CPU time per instruction cannot be less than bus time");
+    }
+
+    const std::size_t n = max_processors;
+    std::vector<BusSolution> curve(n);
+
+    const double service = cost.channel;   // S = b
+    const double think = cost.thinkTime(); // Z = c - b
+
+    if (service == 0.0) {
+        // No bus traffic at all: no contention at any population.
+        const double utilization = 1.0 / cost.cpu;
+        for (std::size_t i = 0; i < n; ++i) {
+            BusSolution &sol = curve[i];
+            sol.processors = static_cast<unsigned>(i) + 1;
+            sol.cpu = cost.cpu;
+            sol.bus = cost.channel;
+            sol.processorUtilization = utilization;
+            sol.processingPower =
+                static_cast<double>(i + 1) * utilization;
+        }
+        return curve;
+    }
+
+    // One MVA recursion; each population k is a prefix of the same
+    // iteration solveBus() runs, so recording the state at every k
+    // reproduces the per-point solutions bit for bit.
+    std::vector<double> responses(n);
+    std::vector<double> throughputs(n);
+    std::vector<double> queues(n);
+    double queue = 0.0;
+    double response = 0.0;
+    double throughput = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+        response = service * (1.0 + queue);
+        throughput = static_cast<double>(k) / (think + response);
+        queue = throughput * response;
+        responses[k - 1] = response;
+        throughputs[k - 1] = throughput;
+        queues[k - 1] = queue;
+    }
+#if SWCC_OBS_ENABLED
+    noteBusSolve(max_processors);
+#endif
+    // One fault site and finiteness check per curve: an injected or
+    // real failure degrades the whole (retryable) cell, exactly as a
+    // failed per-point solve would.
+    campaign::checkFault(campaign::FaultSite::SolverBus);
+    if (!std::isfinite(response) || !std::isfinite(queue)) {
+        throw campaign::SolverNonConvergence(
+            "bus MVA recursion produced a non-finite solution");
+    }
+
+    // Derive pass: straight-line arithmetic over contiguous arrays —
+    // no branches, no calls — so the compiler can vectorise it.
+    for (std::size_t i = 0; i < n; ++i) {
+        BusSolution &sol = curve[i];
+        sol.processors = static_cast<unsigned>(i) + 1;
+        sol.cpu = cost.cpu;
+        sol.bus = cost.channel;
+        sol.waiting = responses[i] - service;
+        sol.busUtilization = throughputs[i] * service;
+        sol.busQueueLength = queues[i];
+        sol.processorUtilization = 1.0 / (cost.cpu + sol.waiting);
+        sol.processingPower =
+            static_cast<double>(i + 1) * sol.processorUtilization;
+    }
+    return curve;
+}
+
 BusSolution
 solveBusGeneralService(const PerInstructionCost &cost,
                        unsigned processors, double scv)

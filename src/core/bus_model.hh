@@ -9,6 +9,7 @@
 #define SWCC_CORE_BUS_MODEL_HH
 
 #include <cstddef>
+#include <vector>
 
 #include "core/per_instruction.hh"
 #include "core/types.hh"
@@ -56,6 +57,28 @@ struct BusSolution
  * @throws std::invalid_argument if processors == 0, b < 0, or c < b.
  */
 BusSolution solveBus(const PerInstructionCost &cost, unsigned processors);
+
+/**
+ * Solves the bus model for every processor count 1..max_processors in
+ * ONE pass of the MVA recursion.
+ *
+ * The exact MVA recursion over the customer population visits every
+ * prefix population anyway — solving for n processors computes the
+ * k-processor solution for all k < n along the way. This kernel
+ * records each prefix, then derives the per-point outputs in a second
+ * pass over contiguous arrays (autovectorizable), turning a curve of N
+ * solves from O(N^2) recursion steps into O(N).
+ *
+ * Element i is bitwise identical to solveBus(cost, i + 1): the
+ * recursion executes the same floating-point operations in the same
+ * order that the per-point solver would.
+ *
+ * @param cost Per-instruction cost (c and b) of the workload.
+ * @param max_processors Largest population to solve, >= 1.
+ * @throws std::invalid_argument as solveBus().
+ */
+std::vector<BusSolution> solveBusCurve(const PerInstructionCost &cost,
+                                       unsigned max_processors);
 
 /**
  * Solves the bus model with a general service-time distribution,

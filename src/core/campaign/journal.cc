@@ -1,6 +1,7 @@
 #include "core/campaign/journal.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <mutex>
@@ -9,10 +10,13 @@
 #include <stdexcept>
 
 #include <fcntl.h>
+#include <limits.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "core/campaign/cell_hash.hh"
 #include "core/obs/log.hh"
+#include "core/obs/metrics.hh"
 
 namespace swcc::campaign
 {
@@ -21,6 +25,12 @@ namespace
 {
 
 constexpr std::string_view kHeader = "# swcc journal v1\n";
+
+/** Ring capacity: bounds memory while keeping producers un-stalled. */
+constexpr std::size_t kQueueCapacity = 1024;
+
+/** Records coalesced into one writev+fsync group, at most. */
+constexpr std::size_t kMaxBatchRecords = 512;
 
 std::string
 hex16(std::uint64_t value)
@@ -71,6 +81,23 @@ doubleToBits(double value)
     return bits;
 }
 
+#if SWCC_OBS_ENABLED
+/** Records one committed group: how many records, one fsync. */
+void
+noteCommit(std::size_t records)
+{
+    static obs::Counter &recs =
+        obs::metrics().counter("journal.records");
+    static obs::Counter &batches =
+        obs::metrics().counter("journal.batches");
+    static obs::Counter &fsyncs =
+        obs::metrics().counter("journal.fsyncs");
+    recs.add(records);
+    batches.add(1);
+    fsyncs.add(1);
+}
+#endif
+
 /**
  * Paths already opened by a Journal in this process. A campaign's
  * first writer decides freshness (truncate unless resuming); later
@@ -82,8 +109,71 @@ std::set<std::string> opened_paths;
 
 } // namespace
 
+CommitQueue::CommitQueue(std::size_t capacity)
+{
+    std::size_t size = 1;
+    while (size < capacity) {
+        size <<= 1;
+    }
+    mask_ = size - 1;
+    slots_ = std::make_unique<Slot[]>(size);
+    for (std::size_t i = 0; i < size; ++i) {
+        slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+}
+
+bool
+CommitQueue::tryPush(std::string &&record)
+{
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+        Slot &slot = slots_[pos & mask_];
+        const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        const std::int64_t dif =
+            static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+        if (dif == 0) {
+            if (head_.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+                slot.record = std::move(record);
+                slot.seq.store(pos + 1, std::memory_order_release);
+                return true;
+            }
+        } else if (dif < 0) {
+            return false; // Full: a lap behind the consumers.
+        } else {
+            pos = head_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+bool
+CommitQueue::tryPop(std::string &record)
+{
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+        Slot &slot = slots_[pos & mask_];
+        const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        const std::int64_t dif = static_cast<std::int64_t>(seq) -
+            static_cast<std::int64_t>(pos + 1);
+        if (dif == 0) {
+            if (tail_.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+                record = std::move(slot.record);
+                slot.record.clear();
+                slot.seq.store(pos + mask_ + 1,
+                               std::memory_order_release);
+                return true;
+            }
+        } else if (dif < 0) {
+            return false; // Empty.
+        } else {
+            pos = tail_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
 Journal::Journal(std::string path, bool keep_existing)
-    : path_(std::move(path))
+    : path_(std::move(path)), queue_(kQueueCapacity)
 {
     bool truncate = !keep_existing;
     {
@@ -111,10 +201,16 @@ Journal::Journal(std::string path, bool keep_existing)
                                      ": " + std::strerror(err));
         }
     }
+    committer_ = std::thread([this] { commitLoop(); });
 }
 
 Journal::~Journal()
 {
+    stop_.store(true, std::memory_order_release);
+    queueCv_.notify_all();
+    if (committer_.joinable()) {
+        committer_.join(); // Drains and commits everything enqueued.
+    }
     if (fd_ >= 0) {
         ::close(fd_);
     }
@@ -123,6 +219,8 @@ Journal::~Journal()
 void
 Journal::append(std::uint64_t key, const std::vector<double> &values)
 {
+    // Format on the completing lane — cheap CPU work parallelises;
+    // only the durability I/O is funnelled to the committer.
     std::string record = hex16(key);
     record += ' ';
     record += std::to_string(values.size());
@@ -135,17 +233,148 @@ Journal::append(std::uint64_t key, const std::vector<double> &values)
                             0xcbf29ce484222325ull));
     record += '\n';
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    // One write() to an O_APPEND fd: the record lands contiguously;
-    // fsync makes it durable before the cell is considered complete.
-    if (::write(fd_, record.data(), record.size()) !=
-        static_cast<ssize_t>(record.size())) {
-        throw std::runtime_error("cannot append to journal " + path_ +
-                                 ": " + std::strerror(errno));
+    while (!queue_.tryPush(std::move(record))) {
+        // Full ring: backpressure. Wait for the committer to drain a
+        // group (or surface its error) instead of dropping data.
+        std::unique_lock<std::mutex> lock(waitMutex_);
+        if (error_) {
+            std::rethrow_exception(error_);
+        }
+        queueCv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    enqueued_.fetch_add(1, std::memory_order_release);
+    queueCv_.notify_all();
+}
+
+void
+Journal::sync()
+{
+    const std::uint64_t target = enqueued_.load(std::memory_order_acquire);
+    std::unique_lock<std::mutex> lock(waitMutex_);
+    queueCv_.notify_all();
+    committedCv_.wait(lock, [&] {
+        return error_ != nullptr ||
+            committed_.load(std::memory_order_acquire) >= target;
+    });
+    if (error_) {
+        std::rethrow_exception(error_);
+    }
+}
+
+void
+Journal::commitLoop()
+{
+    std::vector<std::string> batch;
+    batch.reserve(kMaxBatchRecords);
+    for (;;) {
+        batch.clear();
+        std::string record;
+        while (batch.size() < kMaxBatchRecords &&
+               queue_.tryPop(record)) {
+            batch.push_back(std::move(record));
+        }
+        if (batch.empty()) {
+            if (stop_.load(std::memory_order_acquire)) {
+                // One final race-free check: stop_ is set before the
+                // destructor joins, and producers are gone by then.
+                if (!queue_.tryPop(record)) {
+                    return;
+                }
+                batch.push_back(std::move(record));
+            } else {
+                std::unique_lock<std::mutex> lock(waitMutex_);
+                queueCv_.wait_for(
+                    lock, std::chrono::milliseconds(1), [&] {
+                        return stop_.load(std::memory_order_acquire) ||
+                            enqueued_.load(std::memory_order_acquire) >
+                            committed_.load(std::memory_order_acquire);
+                    });
+                continue;
+            }
+        }
+        try {
+            commitBatch(batch);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(waitMutex_);
+                if (!error_) {
+                    error_ = std::current_exception();
+                }
+                // Count the group as resolved so waiters unblock and
+                // observe the error instead of the count.
+                committed_.fetch_add(batch.size(),
+                                     std::memory_order_release);
+            }
+            committedCv_.notify_all();
+            queueCv_.notify_all();
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(waitMutex_);
+            committed_.fetch_add(batch.size(),
+                                 std::memory_order_release);
+        }
+        committedCv_.notify_all();
+        queueCv_.notify_all();
+    }
+}
+
+void
+Journal::commitBatch(const std::vector<std::string> &batch)
+{
+    // Coalesce the whole group into as few writev() calls as the
+    // IOV_MAX limit allows, then make it durable with ONE fsync.
+    constexpr std::size_t kMaxIov = IOV_MAX < 1024 ? IOV_MAX : 1024;
+    std::vector<struct iovec> iov;
+    iov.reserve(std::min(batch.size(), kMaxIov));
+
+    std::size_t next = 0;
+    while (next < batch.size()) {
+        iov.clear();
+        std::size_t bytes = 0;
+        const std::size_t limit =
+            std::min(batch.size(), next + kMaxIov);
+        for (std::size_t i = next; i < limit; ++i) {
+            iov.push_back(
+                {const_cast<char *>(batch[i].data()), batch[i].size()});
+            bytes += batch[i].size();
+        }
+        std::size_t written = 0;
+        std::size_t first = 0;
+        while (written < bytes) {
+            const ssize_t n = ::writev(
+                fd_, iov.data() + first,
+                static_cast<int>(iov.size() - first));
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                throw std::runtime_error(
+                    "cannot append to journal " + path_ + ": " +
+                    std::strerror(errno));
+            }
+            written += static_cast<std::size_t>(n);
+            std::size_t left = static_cast<std::size_t>(n);
+            while (left > 0 && first < iov.size()) {
+                if (iov[first].iov_len <= left) {
+                    left -= iov[first].iov_len;
+                    ++first;
+                } else {
+                    iov[first].iov_base =
+                        static_cast<char *>(iov[first].iov_base) + left;
+                    iov[first].iov_len -= left;
+                    left = 0;
+                }
+            }
+        }
+        next = limit;
     }
     if (::fsync(fd_) != 0) {
         throw std::runtime_error("cannot fsync journal " + path_);
     }
+#if SWCC_OBS_ENABLED
+    noteCommit(batch.size());
+#endif
 }
 
 std::unordered_map<std::uint64_t, std::vector<double>>

@@ -197,6 +197,72 @@ solveComputeFraction(double rate, double size, unsigned stages)
     return 0.5 * (lo + hi);
 }
 
+void
+solveComputeFractionBatch(const double *rates, const double *sizes,
+                          const unsigned *stages, std::size_t count,
+                          double *out)
+{
+    for (std::size_t j = 0; j < count; ++j) {
+        if (rates[j] <= 0.0 || sizes[j] <= 0.0) {
+            throw std::invalid_argument(
+                "transaction rate and size must be positive");
+        }
+        if (stages[j] == 0) {
+            throw std::invalid_argument(
+                "need at least one network stage");
+        }
+    }
+
+    // Contiguous bisection state; every iteration sweeps the active
+    // points in one pass instead of re-entering the scalar solver.
+    std::vector<double> lo(count, 0.0);
+    std::vector<double> hi(count, 1.0);
+    std::vector<double> demand(count);
+    std::vector<int> iterations(count, 0);
+    std::vector<unsigned char> active(count, 1);
+    for (std::size_t j = 0; j < count; ++j) {
+        demand[j] = rates[j] * sizes[j];
+    }
+
+    std::size_t remaining = count;
+    for (int iter = 0; iter < 200 && remaining > 0; ++iter) {
+        for (std::size_t j = 0; j < count; ++j) {
+            if (!active[j]) {
+                continue;
+            }
+            iterations[j] = iter + 1;
+            // Same arithmetic, same order as the scalar residual:
+            // g(U) = P(1 - U)/(m t) - U.
+            const double mid = 0.5 * (lo[j] + hi[j]);
+            double m = 1.0 - mid;
+            for (unsigned s = 0; s < stages[j]; ++s) {
+                m = patelStageStep(m);
+            }
+            if (m / demand[j] - mid > 0.0) {
+                lo[j] = mid;
+            } else {
+                hi[j] = mid;
+            }
+            if (hi[j] - lo[j] < 1e-13) {
+                active[j] = 0;
+                --remaining;
+            }
+        }
+    }
+
+    for (std::size_t j = 0; j < count; ++j) {
+#if SWCC_OBS_ENABLED
+        noteNetworkSolve(iterations[j], hi[j] - lo[j]);
+#endif
+        campaign::checkFault(campaign::FaultSite::SolverNet);
+        if (!(hi[j] - lo[j] < 1e-6)) {
+            throw campaign::SolverNonConvergence(
+                "network fixed point failed to bracket U");
+        }
+        out[j] = 0.5 * (lo[j] + hi[j]);
+    }
+}
+
 NetworkSolution
 solveNetwork(const PerInstructionCost &cost, unsigned stages)
 {
@@ -244,6 +310,90 @@ solveNetwork(const PerInstructionCost &cost, unsigned stages)
     sol.processingPower =
         static_cast<double>(sol.processors) * sol.processorUtilization;
     return sol;
+}
+
+std::vector<NetworkSolution>
+solveNetworkCurve(const std::vector<PerInstructionCost> &costs,
+                  unsigned first_stage)
+{
+    if (first_stage == 0) {
+        throw std::invalid_argument("need at least one network stage");
+    }
+    const std::size_t n = costs.size();
+    std::vector<NetworkSolution> curve(n);
+
+    // Gather the points that need the fixed point into contiguous
+    // arrays for one batched bisection sweep.
+    std::vector<double> rates;
+    std::vector<double> sizes;
+    std::vector<unsigned> point_stages;
+    std::vector<std::size_t> where;
+    rates.reserve(n);
+    sizes.reserve(n);
+    point_stages.reserve(n);
+    where.reserve(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const PerInstructionCost &cost = costs[i];
+        const unsigned stages =
+            first_stage + static_cast<unsigned>(i);
+        if (cost.channel < 0.0 || cost.cpu <= cost.channel) {
+            throw std::invalid_argument(
+                "per-instruction cost must satisfy 0 <= b < c");
+        }
+
+        NetworkSolution &sol = curve[i];
+        sol.stages = stages;
+        sol.processors = 1u << stages;
+        sol.cpu = cost.cpu;
+        sol.network = cost.channel;
+
+        const double think = cost.thinkTime();
+        sol.transactionRate = 1.0 / think;
+
+        if (cost.channel == 0.0) {
+            // The workload never touches the network.
+            sol.unitRequestRate = 0.0;
+            sol.computeFraction = 1.0;
+            sol.inputLoad = 0.0;
+            sol.acceptance = 1.0;
+            sol.cyclesPerInstruction = cost.cpu;
+            sol.waiting = 0.0;
+            sol.processorUtilization = 1.0 / cost.cpu;
+            sol.processingPower = static_cast<double>(sol.processors) *
+                sol.processorUtilization;
+            continue;
+        }
+
+        sol.unitRequestRate = sol.transactionRate * cost.channel;
+        rates.push_back(sol.transactionRate);
+        sizes.push_back(cost.channel);
+        point_stages.push_back(stages);
+        where.push_back(i);
+    }
+
+    if (!where.empty()) {
+        std::vector<double> fractions(where.size());
+        solveComputeFractionBatch(rates.data(), sizes.data(),
+                                  point_stages.data(), where.size(),
+                                  fractions.data());
+        for (std::size_t j = 0; j < where.size(); ++j) {
+            NetworkSolution &sol = curve[where[j]];
+            const double think = sol.cpu - sol.network;
+            sol.computeFraction = fractions[j];
+            sol.inputLoad = 1.0 - sol.computeFraction;
+            sol.acceptance = sol.inputLoad > 0.0
+                ? patelNetworkOutput(sol.inputLoad, sol.stages) /
+                    sol.inputLoad
+                : 1.0;
+            sol.cyclesPerInstruction = think / sol.computeFraction;
+            sol.waiting = sol.cyclesPerInstruction - sol.cpu;
+            sol.processorUtilization = 1.0 / sol.cyclesPerInstruction;
+            sol.processingPower = static_cast<double>(sol.processors) *
+                sol.processorUtilization;
+        }
+    }
+    return curve;
 }
 
 unsigned

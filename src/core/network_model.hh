@@ -112,6 +112,28 @@ std::vector<double> patelStageLoads(double m0, unsigned stages);
 double solveComputeFraction(double rate, double size, unsigned stages);
 
 /**
+ * Batched fixed-point solve: one bisection sweep over @p count
+ * operating points held in contiguous arrays.
+ *
+ * Every bisection iteration updates all still-active points before
+ * advancing, so the per-iteration inner loop runs over contiguous
+ * lo/hi/demand arrays instead of re-entering the scalar solver per
+ * point. Per point, the sequence of bracket updates — and therefore
+ * the returned U — is bitwise identical to solveComputeFraction().
+ *
+ * @param rates  Transaction rates m > 0, one per point.
+ * @param sizes  Transaction sizes t > 0, one per point.
+ * @param stages Stage counts >= 1, one per point.
+ * @param count  Number of points.
+ * @param out    Receives the compute fraction U of each point.
+ * @throws std::invalid_argument / SolverNonConvergence as the scalar
+ *         solver, identifying the first offending point.
+ */
+void solveComputeFractionBatch(const double *rates, const double *sizes,
+                               const unsigned *stages, std::size_t count,
+                               double *out);
+
+/**
  * Solves the network model for a workload's per-instruction cost.
  *
  * @param cost c and b computed against a NetworkCostModel of the same
@@ -122,6 +144,20 @@ double solveComputeFraction(double rate, double size, unsigned stages);
  */
 NetworkSolution solveNetwork(const PerInstructionCost &cost,
                              unsigned stages);
+
+/**
+ * Solves the network model for a whole curve of machines in one
+ * batched fixed-point sweep: element i solves @p costs[i] on a
+ * network of first_stage + i stages, bitwise identical to calling
+ * solveNetwork(costs[i], first_stage + i) per point.
+ *
+ * @param costs Per-instruction costs, each computed against a
+ *              NetworkCostModel of the matching stage count.
+ * @param first_stage Stage count of costs[0] (>= 1).
+ */
+std::vector<NetworkSolution>
+solveNetworkCurve(const std::vector<PerInstructionCost> &costs,
+                  unsigned first_stage);
 
 /**
  * Smallest stage count whose processor count covers @p processors,

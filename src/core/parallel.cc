@@ -224,6 +224,42 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
     }
     jobs_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> job_lock(jobMutex_);
+
+    // Min-work-per-lane threshold: run a serial prefix on the caller
+    // until ~1 ms of work has accumulated. A job that finishes inside
+    // the budget never wakes a worker, so sub-millisecond jobs (the
+    // 0.4 ms Table 8 grid) cost exactly the serial path instead of a
+    // round of wakes and steals for a 1.0x "speedup".
+    constexpr std::chrono::nanoseconds kInlineBudget{1'000'000};
+    std::size_t next = 0;
+    {
+        InParallelScope scope;
+        LaneCounters &counters = laneCounters_[0];
+        // The prefix is one cursor claim by lane 0 for accounting.
+        counters.chunks.fetch_add(1, std::memory_order_relaxed);
+        const auto start = std::chrono::steady_clock::now();
+        std::size_t executed = 0;
+        try {
+            while (next < n) {
+                fn(next);
+                ++next;
+                ++executed;
+                if (std::chrono::steady_clock::now() - start >=
+                    kInlineBudget) {
+                    break;
+                }
+            }
+        } catch (...) {
+            counters.tasks.fetch_add(executed,
+                                     std::memory_order_relaxed);
+            throw;
+        }
+        counters.tasks.fetch_add(executed, std::memory_order_relaxed);
+    }
+    if (next >= n) {
+        return;
+    }
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
         jobFn_ = &fn;
@@ -231,8 +267,8 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
         // Aim for ~8 steals per lane so uneven cells rebalance without
         // the cursor becoming contended.
         jobChunk_ = std::max<std::size_t>(
-            1, n / (static_cast<std::size_t>(size()) * 8));
-        cursor_.store(0, std::memory_order_relaxed);
+            1, (n - next) / (static_cast<std::size_t>(size()) * 8));
+        cursor_.store(next, std::memory_order_relaxed);
         failed_.store(false, std::memory_order_relaxed);
         error_ = nullptr;
         ++jobSeq_;
@@ -368,11 +404,25 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     globalPool().forEach(n, fn);
 }
 
+namespace
+{
+
+/** One deferred re-attempt of a failed index. */
+struct PendingRetry
+{
+    std::size_t index;
+    unsigned attempt; ///< Attempt number about to run (1-based).
+    std::chrono::steady_clock::time_point due;
+};
+
+} // namespace
+
 ResilienceStats
 parallelForResilient(std::size_t n,
                      const std::function<void(std::size_t)> &fn,
                      const TaskPolicy &policy,
-                     std::vector<TaskOutcome> *outcomes)
+                     std::vector<TaskOutcome> *outcomes,
+                     std::size_t grain)
 {
     if (outcomes != nullptr) {
         outcomes->assign(n, TaskOutcome::Done);
@@ -381,56 +431,108 @@ parallelForResilient(std::size_t n,
     std::atomic<std::uint64_t> poisoned{0};
     std::atomic<std::uint64_t> timeouts{0};
 
-    parallelFor(n, [&](std::size_t i) {
-        for (unsigned attempt = 0;; ++attempt) {
-            bool failed = false;
-            const auto start = std::chrono::steady_clock::now();
-            try {
-                fn(i);
-            } catch (const FatalTaskError &) {
-                throw; // Job-fatal: the pool rethrows to the caller.
-            } catch (const TaskTimeoutError &) {
+    std::mutex retry_mutex;
+    std::vector<PendingRetry> retry_queue;
+
+    const auto backoffDelayMs = [&policy](unsigned attempt) {
+        std::uint64_t delay = policy.backoffBaseMs;
+        for (unsigned d = 0; d < attempt; ++d) {
+            delay = std::min(delay * 2, policy.backoffCapMs);
+        }
+        return std::min(delay, policy.backoffCapMs);
+    };
+
+    // One attempt of one index. On a retryable failure the index is
+    // requeued with a backoff deadline instead of sleeping here — a
+    // pool lane must never park while holding a slice of the job.
+    const auto attemptIndex = [&](std::size_t i, unsigned attempt) {
+        bool failed = false;
+        const bool timed = policy.timeoutMs > 0;
+        std::chrono::steady_clock::time_point start;
+        if (timed) {
+            start = std::chrono::steady_clock::now();
+        }
+        try {
+            fn(i);
+        } catch (const FatalTaskError &) {
+            throw; // Job-fatal: the pool rethrows to the caller.
+        } catch (const TaskTimeoutError &) {
+            timeouts.fetch_add(1, std::memory_order_relaxed);
+            failed = true;
+        } catch (...) {
+            failed = true;
+        }
+        if (!failed && timed) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (static_cast<std::uint64_t>(elapsed > 0 ? elapsed : 0) >
+                policy.timeoutMs) {
+                // Over budget: the attempt's result is distrusted —
+                // a hung-then-finished cell and a failed cell get the
+                // same degradation path.
                 timeouts.fetch_add(1, std::memory_order_relaxed);
                 failed = true;
-            } catch (...) {
-                failed = true;
-            }
-            if (!failed && policy.timeoutMs > 0) {
-                const auto elapsed =
-                    std::chrono::duration_cast<std::chrono::milliseconds>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-                if (static_cast<std::uint64_t>(
-                        elapsed > 0 ? elapsed : 0) > policy.timeoutMs) {
-                    // Over budget: the attempt's result is distrusted
-                    // — a hung-then-finished cell and a failed cell
-                    // get the same degradation path.
-                    timeouts.fetch_add(1, std::memory_order_relaxed);
-                    failed = true;
-                }
-            }
-            if (!failed) {
-                return;
-            }
-            if (attempt >= policy.maxRetries) {
-                poisoned.fetch_add(1, std::memory_order_relaxed);
-                if (outcomes != nullptr) {
-                    (*outcomes)[i] = TaskOutcome::Poisoned;
-                }
-                return;
-            }
-            retries.fetch_add(1, std::memory_order_relaxed);
-            std::uint64_t delay = policy.backoffBaseMs;
-            for (unsigned d = 0; d < attempt; ++d) {
-                delay = std::min(delay * 2, policy.backoffCapMs);
-            }
-            if (delay > 0) {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(
-                        std::min(delay, policy.backoffCapMs)));
             }
         }
+        if (!failed) {
+            return;
+        }
+        if (attempt >= policy.maxRetries) {
+            poisoned.fetch_add(1, std::memory_order_relaxed);
+            if (outcomes != nullptr) {
+                (*outcomes)[i] = TaskOutcome::Poisoned;
+            }
+            return;
+        }
+        retries.fetch_add(1, std::memory_order_relaxed);
+        const auto due = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(backoffDelayMs(attempt));
+        std::lock_guard<std::mutex> lock(retry_mutex);
+        retry_queue.push_back({i, attempt + 1, due});
+    };
+
+    // Wave 0: every index attempted once, scheduled in batches of
+    // `grain` consecutive indices so cheap cells amortise the steal.
+    const std::size_t batch = std::max<std::size_t>(1, grain);
+    const std::size_t batches = (n + batch - 1) / batch;
+    parallelFor(batches, [&](std::size_t b) {
+        const std::size_t lo = b * batch;
+        const std::size_t hi = std::min(n, lo + batch);
+        for (std::size_t i = lo; i < hi; ++i) {
+            attemptIndex(i, 0);
+        }
     });
+
+    // Retry waves: the caller sleeps out the earliest deadline, then
+    // re-runs every due index across the pool. Pool lanes stay busy
+    // with real attempts the whole time.
+    for (;;) {
+        std::vector<PendingRetry> due_wave;
+        {
+            std::unique_lock<std::mutex> lock(retry_mutex);
+            if (retry_queue.empty()) {
+                break;
+            }
+            auto earliest = retry_queue.front().due;
+            for (const PendingRetry &r : retry_queue) {
+                earliest = std::min(earliest, r.due);
+            }
+            lock.unlock();
+            std::this_thread::sleep_until(earliest);
+            lock.lock();
+            const auto now = std::chrono::steady_clock::now();
+            std::vector<PendingRetry> later;
+            for (PendingRetry &r : retry_queue) {
+                (r.due <= now ? due_wave : later).push_back(r);
+            }
+            retry_queue.swap(later);
+        }
+        parallelFor(due_wave.size(), [&](std::size_t k) {
+            attemptIndex(due_wave[k].index, due_wave[k].attempt);
+        });
+    }
 
     ResilienceStats stats;
     stats.retries = retries.load(std::memory_order_relaxed);

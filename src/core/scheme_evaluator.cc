@@ -1,10 +1,12 @@
 #include "core/scheme_evaluator.hh"
 
+#include <cstdint>
 #include <stdexcept>
 
+#include "core/campaign/faults.hh"
 #include "core/obs/trace.hh"
-#include "core/parallel.hh"
 #include "core/per_instruction.hh"
+#include "core/solver_cache.hh"
 
 namespace swcc
 {
@@ -21,6 +23,78 @@ spanName(const char *name)
 }
 #endif
 
+SolverMemo<BusSolution> &
+busMemo()
+{
+    static SolverMemo<BusSolution> memo;
+    return memo;
+}
+
+SolverMemo<std::vector<BusSolution>> &
+busCurveMemo()
+{
+    static SolverMemo<std::vector<BusSolution>> memo;
+    return memo;
+}
+
+SolverMemo<NetworkSolution> &
+networkMemo()
+{
+    static SolverMemo<NetworkSolution> memo;
+    return memo;
+}
+
+SolverMemo<std::vector<NetworkSolution>> &
+networkCurveMemo()
+{
+    static SolverMemo<std::vector<NetworkSolution>> memo;
+    return memo;
+}
+
+[[maybe_unused]] const bool memo_clearers_registered = [] {
+    registerSolverCacheClearer(+[] { busMemo().clear(); });
+    registerSolverCacheClearer(+[] { busCurveMemo().clear(); });
+    registerSolverCacheClearer(+[] { networkMemo().clear(); });
+    registerSolverCacheClearer(+[] { networkCurveMemo().clear(); });
+    return true;
+}();
+
+/**
+ * True when results may be served from / stored into the memo. Fault
+ * injection must reach the solvers' checkFault() sites, so an armed
+ * fault plan bypasses the cache entirely.
+ */
+bool
+memoUsable()
+{
+    return solverCacheEnabled() && !campaign::faultsActive();
+}
+
+SolverCacheKey
+busPointKey(Scheme scheme, const WorkloadParams &params,
+            unsigned processors, const BusCostModel &costs)
+{
+    return SolverKeyBuilder("bus")
+        .add(schemeName(scheme))
+        .add(params)
+        .add(std::uint64_t{processors})
+        .add(costs)
+        .key();
+}
+
+SolverCacheKey
+networkPointKey(Scheme scheme, const WorkloadParams &params,
+                unsigned stages)
+{
+    // The cost table is NetworkCostModel(stages), fully determined by
+    // the stage count already in the key.
+    return SolverKeyBuilder("network")
+        .add(schemeName(scheme))
+        .add(params)
+        .add(std::uint64_t{stages})
+        .key();
+}
+
 } // namespace
 
 BusSolution
@@ -35,9 +109,22 @@ BusSolution
 evaluateBus(Scheme scheme, const WorkloadParams &params,
             unsigned processors, const BusCostModel &costs)
 {
+    const bool memo = memoUsable();
+    BusSolution sol;
+    SolverCacheKey key;
+    if (memo) {
+        key = busPointKey(scheme, params, processors, costs);
+        if (busMemo().lookup(key, sol)) {
+            return sol;
+        }
+    }
     const FrequencyVector freqs = operationFrequencies(scheme, params);
     const PerInstructionCost cost = perInstructionCost(freqs, costs);
-    return solveBus(cost, processors);
+    sol = solveBus(cost, processors);
+    if (memo) {
+        busMemo().insert(key, sol);
+    }
+    return sol;
 }
 
 NetworkSolution
@@ -49,10 +136,109 @@ evaluateNetwork(Scheme scheme, const WorkloadParams &params,
             "snoopy schemes need a broadcast bus; they cannot run on a "
             "multistage network");
     }
+    const bool memo = memoUsable();
+    NetworkSolution sol;
+    SolverCacheKey key;
+    if (memo) {
+        key = networkPointKey(scheme, params, stages);
+        if (networkMemo().lookup(key, sol)) {
+            return sol;
+        }
+    }
     const NetworkCostModel costs(stages);
     const FrequencyVector freqs = operationFrequencies(scheme, params);
     const PerInstructionCost cost = perInstructionCost(freqs, costs);
-    return solveNetwork(cost, stages);
+    sol = solveNetwork(cost, stages);
+    if (memo) {
+        networkMemo().insert(key, sol);
+    }
+    return sol;
+}
+
+std::vector<BusSolution>
+evaluateBusCurve(Scheme scheme, const WorkloadParams &params,
+                 unsigned max_processors)
+{
+    const BusCostModel costs;
+    return evaluateBusCurve(scheme, params, max_processors, costs);
+}
+
+std::vector<BusSolution>
+evaluateBusCurve(Scheme scheme, const WorkloadParams &params,
+                 unsigned max_processors, const BusCostModel &costs)
+{
+    const bool memo = memoUsable();
+    std::vector<BusSolution> curve;
+    SolverCacheKey key;
+    if (memo) {
+        key = SolverKeyBuilder("bus-curve")
+                  .add(schemeName(scheme))
+                  .add(params)
+                  .add(std::uint64_t{max_processors})
+                  .add(costs)
+                  .key();
+        if (busCurveMemo().lookup(key, curve)) {
+            return curve;
+        }
+    }
+    const FrequencyVector freqs = operationFrequencies(scheme, params);
+    const PerInstructionCost cost = perInstructionCost(freqs, costs);
+    curve = solveBusCurve(cost, max_processors);
+    if (memo) {
+        busCurveMemo().insert(key, curve);
+        // Seed the per-point memo too: the curve's element i is the
+        // bitwise i+1-processor solution, so later single-point
+        // evaluations of the same workload hit without solving.
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            busMemo().insert(
+                busPointKey(scheme, params,
+                            static_cast<unsigned>(i) + 1, costs),
+                curve[i]);
+        }
+    }
+    return curve;
+}
+
+std::vector<NetworkSolution>
+evaluateNetworkCurve(Scheme scheme, const WorkloadParams &params,
+                     unsigned max_stages)
+{
+    if (!schemeWorksOnNetwork(scheme)) {
+        throw std::invalid_argument(
+            "snoopy schemes need a broadcast bus; they cannot run on a "
+            "multistage network");
+    }
+    const bool memo = memoUsable();
+    std::vector<NetworkSolution> curve;
+    SolverCacheKey key;
+    if (memo) {
+        key = SolverKeyBuilder("network-curve")
+                  .add(schemeName(scheme))
+                  .add(params)
+                  .add(std::uint64_t{max_stages})
+                  .key();
+        if (networkCurveMemo().lookup(key, curve)) {
+            return curve;
+        }
+    }
+    const FrequencyVector freqs = operationFrequencies(scheme, params);
+    std::vector<PerInstructionCost> costs;
+    costs.reserve(max_stages);
+    for (unsigned stages = 1; stages <= max_stages; ++stages) {
+        const NetworkCostModel model(stages);
+        costs.push_back(perInstructionCost(freqs, model));
+    }
+    curve = solveNetworkCurve(costs, 1);
+    if (memo) {
+        networkCurveMemo().insert(key, curve);
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            networkMemo().insert(
+                networkPointKey(scheme, params,
+                                static_cast<unsigned>(i) + 1),
+                curve[i]);
+        }
+    }
+    return curve;
 }
 
 std::vector<BusSolution>
@@ -63,12 +249,9 @@ busPowerCurve(Scheme scheme, const WorkloadParams &params,
     static const std::uint32_t span = spanName("busPowerCurve");
     obs::ScopedSpan scoped(span);
 #endif
-    // Every processor count is an independent solve; slot i holds the
-    // (i+1)-processor solution whatever the thread count.
-    return parallelMap(max_processors, [&](std::size_t i) {
-        return evaluateBus(scheme, params,
-                           static_cast<unsigned>(i) + 1);
-    });
+    // One O(N) recursion replaces the old N independent solves; slot i
+    // holds the (i+1)-processor solution whatever the thread count.
+    return evaluateBusCurve(scheme, params, max_processors);
 }
 
 std::vector<NetworkSolution>
@@ -79,10 +262,7 @@ networkPowerCurve(Scheme scheme, const WorkloadParams &params,
     static const std::uint32_t span = spanName("networkPowerCurve");
     obs::ScopedSpan scoped(span);
 #endif
-    return parallelMap(max_stages, [&](std::size_t i) {
-        return evaluateNetwork(scheme, params,
-                               static_cast<unsigned>(i) + 1);
-    });
+    return evaluateNetworkCurve(scheme, params, max_stages);
 }
 
 } // namespace swcc

@@ -50,6 +50,31 @@ NetworkSolution evaluateNetwork(Scheme scheme,
                                 unsigned stages);
 
 /**
+ * Evaluates a scheme at every processor count 1..max_processors in one
+ * pass of the MVA recursion (see solveBusCurve()). Element i is
+ * bitwise identical to evaluateBus(scheme, params, i + 1).
+ */
+std::vector<BusSolution>
+evaluateBusCurve(Scheme scheme, const WorkloadParams &params,
+                 unsigned max_processors);
+
+/** @copydoc evaluateBusCurve */
+std::vector<BusSolution>
+evaluateBusCurve(Scheme scheme, const WorkloadParams &params,
+                 unsigned max_processors, const BusCostModel &costs);
+
+/**
+ * Evaluates a scheme on networks of 2, 4, ..., 2^max_stages processors
+ * in one batched fixed-point sweep (see solveNetworkCurve()). Element
+ * i is bitwise identical to evaluateNetwork(scheme, params, i + 1).
+ *
+ * @throws std::invalid_argument for schemes that need a snooping bus.
+ */
+std::vector<NetworkSolution>
+evaluateNetworkCurve(Scheme scheme, const WorkloadParams &params,
+                     unsigned max_stages);
+
+/**
  * Processing power of a scheme over a range of processor counts on a
  * bus (one BusSolution per count in [1, max_processors]).
  */

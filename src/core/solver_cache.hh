@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Thread-safe memo cache for analytical solver results.
+ *
+ * Campaigns re-solve the same operating points constantly: the Table 8
+ * companion grids revisit each base point per varied parameter, power
+ * curves share their workload point across processor counts, and
+ * resumed or repeated sweeps recompute identical cells. The memo cache
+ * keys a solution by the *complete* canonical description of what the
+ * solver computes — domain, scheme, every workload parameter, machine
+ * size, and the full cost table — and returns the stored value on a
+ * hit. Cached values are the bitwise output of the original solve, so
+ * caching never changes a result, only skips recomputing it.
+ *
+ * Keys are 128-bit: two FNV-1a 64 hashes of the same canonical byte
+ * stream under different seeds. A collision would need both hashes to
+ * collide simultaneously, pushing accidental aliasing past any
+ * campaign size this library will see. Doubles are canonicalised
+ * (-0.0 -> 0.0, any NaN -> one bit pattern) exactly like cell_hash.
+ *
+ * The cache is sharded (16 shards, one mutex each) so concurrent pool
+ * lanes hit different locks; each shard is bounded and self-clears on
+ * overflow rather than evicting (campaign working sets either fit or
+ * churn — LRU bookkeeping would cost more than the rare refill).
+ *
+ * Gate: SWCC_SOLVER_CACHE=off|0|false disables it process-wide;
+ * setSolverCacheEnabled() overrides programmatically (benches measure
+ * cold vs warm, tests compare cached vs uncached bitwise).
+ */
+
+#ifndef SWCC_CORE_SOLVER_CACHE_HH
+#define SWCC_CORE_SOLVER_CACHE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace swcc
+{
+
+class CostModel;
+struct WorkloadParams;
+
+/** 128-bit cache key: two independent FNV-1a 64 states. */
+struct SolverCacheKey
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool operator==(const SolverCacheKey &) const = default;
+};
+
+struct SolverCacheKeyHash
+{
+    std::size_t
+    operator()(const SolverCacheKey &key) const
+    {
+        return static_cast<std::size_t>(
+            key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/**
+ * Builder for a solver cache key (mirrors campaign::CellKey, but
+ * accumulates two hash states). Fields are framed with separators so
+ * adjacent fields cannot alias.
+ */
+class SolverKeyBuilder
+{
+  public:
+    /** @param domain Namespace of the solver ("bus", "network", ...). */
+    explicit SolverKeyBuilder(std::string_view domain);
+
+    /** Appends a string field. */
+    SolverKeyBuilder &add(std::string_view field);
+
+    /** Appends a double by canonical IEEE bit pattern. */
+    SolverKeyBuilder &add(double value);
+
+    /** Appends an unsigned integer field. */
+    SolverKeyBuilder &add(std::uint64_t value);
+
+    /** Appends every workload parameter, in Table 2 order. */
+    SolverKeyBuilder &add(const WorkloadParams &params);
+
+    /**
+     * Appends the full cost table via its public interface: for every
+     * operation, whether it is supported and (if so) its cpu/channel
+     * cycles. Two semantically equal tables key identically.
+     */
+    SolverKeyBuilder &add(const CostModel &costs);
+
+    SolverCacheKey
+    key() const
+    {
+        return {lo_, hi_};
+    }
+
+  private:
+    void mixBytes(const void *data, std::size_t size);
+    void mixSeparator();
+
+    std::uint64_t lo_;
+    std::uint64_t hi_;
+};
+
+/** Hit/miss totals across every solver memo in the process. */
+struct SolverCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/** True unless disabled by env or setSolverCacheEnabled(false). */
+bool solverCacheEnabled();
+
+/** Programmatic override of the SWCC_SOLVER_CACHE gate. */
+void setSolverCacheEnabled(bool enabled);
+
+/** Process-wide hit/miss counters (all memo instances). */
+SolverCacheStats solverCacheStats();
+
+/** @internal Counts one hit/miss into solverCacheStats(). */
+void noteSolverCacheLookup(bool hit);
+
+/**
+ * Drops every entry of every registered memo (tests and
+ * cold-vs-warm benches). Values reappear on the next solve.
+ */
+void clearSolverCache();
+
+/** @internal Registers a memo's clear() with clearSolverCache(). */
+void registerSolverCacheClearer(void (*clearer)());
+
+/**
+ * One sharded, bounded, thread-safe memo map (see file comment).
+ * Instantiated per value type by the evaluators; register the
+ * instance's clear with registerSolverCacheClearer() once.
+ */
+template <typename Value>
+class SolverMemo
+{
+  public:
+    /** Looks @p key up; counts the hit/miss. */
+    bool
+    lookup(const SolverCacheKey &key, Value &out)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        const bool hit = it != shard.map.end();
+        noteSolverCacheLookup(hit);
+        if (hit) {
+            out = it->second;
+        }
+        return hit;
+    }
+
+    /** Stores @p value; a full shard clears itself first. */
+    void
+    insert(const SolverCacheKey &key, const Value &value)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.map.size() >= kMaxPerShard) {
+            shard.map.clear();
+        }
+        shard.map.emplace(key, value);
+    }
+
+    void
+    clear()
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.map.clear();
+        }
+    }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+    static constexpr std::size_t kMaxPerShard = 4096;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<SolverCacheKey, Value, SolverCacheKeyHash>
+            map;
+    };
+
+    Shard &
+    shardFor(const SolverCacheKey &key)
+    {
+        return shards_[key.hi % kShards];
+    }
+
+    std::array<Shard, kShards> shards_;
+};
+
+} // namespace swcc
+
+#endif // SWCC_CORE_SOLVER_CACHE_HH

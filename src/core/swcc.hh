@@ -31,6 +31,7 @@
 #include "core/report.hh"
 #include "core/scheme_evaluator.hh"
 #include "core/sensitivity.hh"
+#include "core/solver_cache.hh"
 #include "core/sweep.hh"
 #include "core/types.hh"
 #include "core/workload.hh"

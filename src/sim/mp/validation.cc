@@ -27,7 +27,14 @@ validatePoint(const ValidationConfig &config, CpuId cpus)
     SyntheticWorkloadConfig workload = profileConfig(
         config.profile, cpus, config.instructionsPerCpu,
         config.seed + cpus, software_trace);
-    const TraceBuffer trace = generateTrace(workload);
+    // Lane-resident arena: batched campaign cells run many validation
+    // points per pool lane, and the multi-megabyte trace buffer is the
+    // dominant allocation. clear() resets length and cpu count but
+    // keeps capacity, so every cell after the first on a lane
+    // generates into already-warm memory. Contents are identical to a
+    // fresh generateTrace() call.
+    thread_local TraceBuffer trace;
+    generateTrace(workload, trace);
     const SharedClassifier shared = workload.sharedClassifier();
 
     CacheConfig cache;

@@ -288,6 +288,14 @@ TraceBuffer
 TraceGenerator::generate()
 {
     TraceBuffer trace;
+    generateInto(trace);
+    return trace;
+}
+
+void
+TraceGenerator::generateInto(TraceBuffer &trace)
+{
+    trace.clear();
     trace.reserve(static_cast<std::size_t>(
         static_cast<double>(config_.instructionsPerCpu) *
         config_.numCpus * (1.0 + config_.ls) * 1.1));
@@ -319,7 +327,6 @@ TraceGenerator::generate()
         }
         trace.append(cpu.pending[cpu.pendingNext++]);
     }
-    return trace;
 }
 
 TraceBuffer
@@ -327,6 +334,13 @@ generateTrace(const SyntheticWorkloadConfig &config)
 {
     TraceGenerator generator(config);
     return generator.generate();
+}
+
+void
+generateTrace(const SyntheticWorkloadConfig &config, TraceBuffer &out)
+{
+    TraceGenerator generator(config);
+    generator.generateInto(out);
 }
 
 } // namespace swcc

@@ -56,6 +56,14 @@ class TraceGenerator
      */
     TraceBuffer generate();
 
+    /**
+     * Generates into @p trace, reusing its allocated capacity. The
+     * buffer is cleared first; the result is identical to generate().
+     * Lets batched campaign cells keep one arena per pool lane instead
+     * of allocating a fresh multi-megabyte buffer per cell.
+     */
+    void generateInto(TraceBuffer &trace);
+
   private:
     /** What a processor is currently doing. */
     enum class Phase : std::uint8_t
@@ -162,6 +170,13 @@ class TraceGenerator
  * Convenience: construct, generate, and return the trace.
  */
 TraceBuffer generateTrace(const SyntheticWorkloadConfig &config);
+
+/**
+ * Convenience: construct and generate into @p out, reusing its
+ * capacity (see TraceGenerator::generateInto()).
+ */
+void generateTrace(const SyntheticWorkloadConfig &config,
+                   TraceBuffer &out);
 
 } // namespace swcc
 

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -541,6 +542,98 @@ TEST_F(CampaignRunCellsTest, MeasuredOverrunPoisonsTheCell)
 
 // ---------------------------------------------------------------------
 // The real drivers on top of runCells.
+
+// ---------------------------------------------------------------------
+// Group-commit journal + batched cells.
+
+TEST(CampaignJournalTest, SyncMakesEarlierAppendsDurable)
+{
+    const std::string path = freshPath("journal_sync.journal");
+    campaign::Journal journal(path, false);
+    for (std::uint64_t k = 0; k < 200; ++k) {
+        journal.append(k, {static_cast<double>(k) * 0.125, -1.5});
+    }
+    journal.sync();
+    // The journal is still open: sync() alone must have made every
+    // earlier append visible to a reader (or a post-crash load).
+    const auto loaded = campaign::Journal::load(path);
+    ASSERT_EQ(loaded.size(), 200u);
+    for (std::uint64_t k = 0; k < 200; ++k) {
+        ASSERT_TRUE(loaded.count(k)) << "record " << k << " missing";
+        EXPECT_TRUE(sameBits(loaded.at(k)[0],
+                             static_cast<double>(k) * 0.125));
+    }
+}
+
+TEST_F(CampaignRunCellsTest, BatchedCellsKillThenResumeIsByteIdentical)
+{
+    const auto baseline = campaign::runCells(
+        32, 2, keyOf, [](std::size_t i) { return payload(i); },
+        campaign::CampaignOptions{});
+
+    campaign::CampaignOptions options;
+    options.journalPath = freshPath("runcells_batched_kill.journal");
+    options.cellsPerTask = 5; // Several cells share each task.
+    options.faultSpec = "task-kill:1@11";
+    EXPECT_THROW(campaign::runCells(
+                     32, 2, keyOf,
+                     [](std::size_t i) { return payload(i); }, options),
+                 FatalTaskError);
+
+    // Cells that completed before the kill — including ones queued in
+    // the committer at unwind time — must be durable in the journal.
+    campaign::clearFaults();
+    options.faultSpec.clear();
+    options.resume = true;
+    campaign::CampaignReport report;
+    const auto resumed = campaign::runCells(
+        32, 2, keyOf, [](std::size_t i) { return payload(i); },
+        options, &report);
+    EXPECT_GT(report.fromJournal, 0u);
+    EXPECT_EQ(report.fromJournal + report.executed, 32u);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        for (std::size_t j = 0; j < baseline[i].size(); ++j) {
+            EXPECT_TRUE(sameBits(resumed[i][j], baseline[i][j]))
+                << "cell " << i << " value " << j
+                << " differs after batched resume";
+        }
+    }
+}
+
+TEST_F(CampaignRunCellsTest, BatchedCellsKeepPerCellRetryAccounting)
+{
+    const std::uint64_t before =
+        campaign::injectedCount(campaign::FaultSite::SolverBus);
+    campaign::CampaignOptions options;
+    options.cellsPerTask = 4;
+    options.faultSpec = "solver-bus:2";
+    campaign::CampaignReport report;
+    const auto results = campaign::runCells(
+        10, 2, keyOf,
+        [](std::size_t i) {
+            campaign::checkFault(campaign::FaultSite::SolverBus);
+            return payload(i);
+        },
+        options, &report);
+    // A failing cell inside a batch retries alone; its batch-mates
+    // complete normally and exactly once.
+    EXPECT_EQ(campaign::injectedCount(campaign::FaultSite::SolverBus),
+              before + 2);
+    EXPECT_EQ(report.retries, 2u);
+    EXPECT_EQ(report.poisoned, 0u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i], payload(i));
+    }
+}
+
+TEST_F(CampaignRunCellsTest, CellsPerTaskEnvKnobIsParsed)
+{
+    ::setenv("SWCC_CELLS_PER_TASK", "7", 1);
+    const auto options = campaign::envCampaignOptions("env_knob");
+    ::unsetenv("SWCC_CELLS_PER_TASK");
+    EXPECT_EQ(options.cellsPerTask, 7u);
+}
 
 TEST_F(CampaignRunCellsTest, SweepGridKillThenResumeIsByteIdentical)
 {
