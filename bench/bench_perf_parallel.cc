@@ -8,22 +8,32 @@
  * times the analytical evaluators cache-cold vs cache-warm.
  *
  * Modes:
- *   (default)            full measurement + CSV export
- *   --smoke              small workloads, no CSV — the ctest gate
- *   --assert-speedup X   exit nonzero unless the sensitivity grid
- *                        speeds up by at least X at 4 threads; the
- *                        check self-gates (skips) on hosts with fewer
- *                        than 4 hardware threads, where a wall-clock
- *                        speedup is physically unmeasurable.
+ *   (default)              full measurement + CSV export
+ *   --smoke                small workloads, no CSV — the ctest gate
+ *   --assert-speedup X     exit nonzero unless the sensitivity grid
+ *                          speeds up by at least X at 4 threads; the
+ *                          check self-gates (skips) on hosts with
+ *                          fewer than 4 hardware threads, where a
+ *                          wall-clock speedup is physically
+ *                          unmeasurable.
+ *   --assert-simd-speedup X  exit nonzero unless the batched network
+ *                          sweep speeds up by at least X with the
+ *                          vector kernels on; self-gates on hosts
+ *                          whose vector lane width is below 4 (no
+ *                          AVX2), where the scalar sweep is the only
+ *                          implementation.
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/network_model.hh"
+#include "core/simd.hh"
 #include "core/swcc.hh"
 #include "sim/mp/validation.hh"
 #include "sim/synth/rng.hh"
@@ -243,12 +253,66 @@ memoRows(TextTable &table, const BenchConfig &bench,
     return speedup;
 }
 
+/**
+ * Times the batched network fixed-point sweep with the vector kernels
+ * off and on — the campaign sweep shape: many operating points at one
+ * machine size. Verifies the two modes agree bit for bit, appends two
+ * rows, and returns the vector speedup (1.0 on scalar-only hosts).
+ */
+double
+simdRows(TextTable &table, const BenchConfig &bench,
+         bool &all_identical)
+{
+    const std::size_t count = bench.smoke ? 64 : 512;
+    std::vector<double> rates(count);
+    std::vector<double> sizes(count);
+    std::vector<unsigned> stages(count, 8);
+    for (std::size_t i = 0; i < count; ++i) {
+        rates[i] = 0.01 + 0.0005 * static_cast<double>(i % 97);
+        sizes[i] = 10.0 + 0.125 * static_cast<double>(i % 33);
+    }
+    const int rounds = bench.smoke ? 20 : 200;
+    std::vector<double> out(count);
+    const auto sweep = [&] {
+        for (int r = 0; r < rounds; ++r) {
+            solveComputeFractionBatch(rates.data(), sizes.data(),
+                                      stages.data(), count, out.data());
+        }
+    };
+
+    simd::setSimdEnabled(false);
+    sweep();
+    const std::vector<double> scalar_result = out;
+    const double scalar = bestOf(bench.reps, sweep);
+
+    simd::setSimdEnabled(true);
+    sweep();
+    const std::vector<double> vector_result = out;
+    const double vector = bestOf(bench.reps, sweep);
+
+    const bool ok =
+        std::memcmp(scalar_result.data(), vector_result.data(),
+                    count * sizeof(double)) == 0;
+    all_identical = all_identical && ok;
+
+    const double speedup = scalar / vector;
+    table.addRow({"network sweep (simd off)", "1",
+                  formatNumber(scalar * 1e3, 3), "-", "1.00x",
+                  ok ? "yes" : "NO"});
+    table.addRow({"network sweep (simd on)", "1",
+                  formatNumber(vector * 1e3, 3), "-",
+                  formatNumber(speedup, 2) + "x",
+                  ok ? "yes" : "NO"});
+    return speedup;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     BenchConfig bench;
+    double assert_simd = 0.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -257,9 +321,12 @@ main(int argc, char **argv)
             bench.threads = {1, 2};
         } else if (arg == "--assert-speedup" && i + 1 < argc) {
             bench.assertSpeedup = std::atof(argv[++i]);
+        } else if (arg == "--assert-simd-speedup" && i + 1 < argc) {
+            assert_simd = std::atof(argv[++i]);
         } else {
             std::cerr << "usage: bench_perf_parallel [--smoke] "
-                         "[--assert-speedup X]\n";
+                         "[--assert-speedup X] "
+                         "[--assert-simd-speedup X]\n";
             return 2;
         }
     }
@@ -284,6 +351,7 @@ main(int argc, char **argv)
         },
         identicalValidation, 4, all_identical);
     memoRows(table, bench, all_identical);
+    const double simd_speedup = simdRows(table, bench, all_identical);
 
     table.print(std::cout);
 
@@ -310,6 +378,21 @@ main(int argc, char **argv)
                   << "x (required " << bench.assertSpeedup << "x)\n";
         if (sensitivity_speedup < bench.assertSpeedup) {
             std::cout << "FAIL: below required speedup\n";
+            return 1;
+        }
+    }
+
+    if (assert_simd > 0.0) {
+        if (simd::laneWidth() < 4) {
+            std::cout << "simd speedup assertion skipped: lane width "
+                      << simd::laneWidth() << " (need 4)\n";
+            return 0;
+        }
+        std::cout << "network sweep with vector kernels: "
+                  << formatNumber(simd_speedup, 2) << "x (required "
+                  << assert_simd << "x)\n";
+        if (simd_speedup < assert_simd) {
+            std::cout << "FAIL: below required simd speedup\n";
             return 1;
         }
     }

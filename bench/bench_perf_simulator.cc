@@ -48,6 +48,10 @@ struct HarnessConfig
     int reps = 3;
     CpuId sweepMaxCpus = 6;
     std::size_t sweepInstructions = 30'000;
+    // Wide-machine rows: many holders per block, so the dirty-holder
+    // bitset path (update-based schemes on the directory) is loaded.
+    CpuId bigCpus = 48;
+    std::size_t bigInstructionsPerCpu = 20'000;
 };
 
 /** Wall-clock seconds of @p body, best of @p reps runs. */
@@ -71,6 +75,7 @@ bestOf(int reps, Body &&body)
 struct SchemeCase
 {
     std::string name;
+    CpuId cpus = 0;
     const TraceBuffer *trace = nullptr;
     std::function<std::unique_ptr<MultiprocessorSystem>()> make;
 };
@@ -129,9 +134,19 @@ reportSnoopPathSpeedup(const HarnessConfig &config)
     cache.sizeBytes = 64 * 1024;
     cache.blockBytes = 16;
 
+    // Wide-machine workload: same sharing-heavy profile at bigCpus so
+    // blocks accumulate many holders and bus writes under the
+    // update-based schemes exercise the dirty-holder bitset.
+    const SyntheticWorkloadConfig big_workload =
+        profileConfig(AppProfile::PeroLike, config.bigCpus,
+                      config.bigInstructionsPerCpu, 55, false);
+    const TraceBuffer big_trace = generateTrace(big_workload);
+    const SharedClassifier big_shared = big_workload.sharedClassifier();
+
     const auto paper = [&](Scheme scheme, const TraceBuffer &trace) {
         return SchemeCase{
-            std::string(schemeName(scheme)), &trace, [&, scheme] {
+            std::string(schemeName(scheme)), config.cpus, &trace,
+            [&, scheme] {
                 return std::make_unique<MultiprocessorSystem>(
                     scheme, cache, config.cpus, shared);
             }};
@@ -141,15 +156,25 @@ reportSnoopPathSpeedup(const HarnessConfig &config)
         paper(Scheme::NoCache, hw_trace),
         paper(Scheme::SoftwareFlush, sw_trace),
         paper(Scheme::Dragon, hw_trace),
-        SchemeCase{"invalidate", &hw_trace, [&] {
+        SchemeCase{"invalidate", config.cpus, &hw_trace, [&] {
             return std::make_unique<MultiprocessorSystem>(
                 std::make_unique<InvalidateProtocol>(cache,
                                                      config.cpus));
         }},
+        SchemeCase{"dragon", config.bigCpus, &big_trace, [&] {
+            return std::make_unique<MultiprocessorSystem>(
+                Scheme::Dragon, cache, config.bigCpus, big_shared);
+        }},
+        SchemeCase{"invalidate", config.bigCpus, &big_trace, [&] {
+            return std::make_unique<MultiprocessorSystem>(
+                std::make_unique<InvalidateProtocol>(cache,
+                                                     config.bigCpus));
+        }},
     };
 
-    TextTable table({"scheme", "events", "reference ms", "directory ms",
-                     "ref Mev/s", "dir Mev/s", "speedup", "identical"});
+    TextTable table({"scheme", "cpus", "events", "reference ms",
+                     "directory ms", "ref Mev/s", "dir Mev/s", "speedup",
+                     "identical"});
     bool all_identical = true;
     for (const SchemeCase &scheme_case : cases) {
         const PathResult reference =
@@ -163,7 +188,9 @@ reportSnoopPathSpeedup(const HarnessConfig &config)
         const auto events =
             static_cast<double>(scheme_case.trace->size());
         table.addRow(
-            {scheme_case.name, formatNumber(events, 0),
+            {scheme_case.name,
+             std::to_string(unsigned{scheme_case.cpus}),
+             formatNumber(events, 0),
              formatNumber(reference.seconds * 1e3, 1),
              formatNumber(directory.seconds * 1e3, 1),
              formatNumber(events / reference.seconds / 1e6, 2),
@@ -301,6 +328,8 @@ main(int argc, char **argv)
             config.reps = 1;
             config.sweepMaxCpus = 4;
             config.sweepInstructions = 5'000;
+            config.bigCpus = 24;
+            config.bigInstructionsPerCpu = 1'500;
         } else {
             std::cerr << "usage: bench_perf_simulator [--smoke]\n";
             return 1;

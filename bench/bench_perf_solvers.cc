@@ -104,6 +104,34 @@ BM_NetworkCurve(benchmark::State &state)
 BENCHMARK(BM_NetworkCurve)->Arg(8)->Arg(12);
 
 void
+BM_NetworkBatch(benchmark::State &state)
+{
+    // The campaign sweep shape: many operating points on one machine
+    // size (uniform stage count), varying workload intensity. This is
+    // the throughput-bound case the vector sweep targets — every
+    // 4-lane group takes the no-mask fast path.
+    const std::size_t count = static_cast<std::size_t>(state.range(0));
+    std::vector<double> rates(count);
+    std::vector<double> sizes(count);
+    std::vector<unsigned> stages(count, 8);
+    std::vector<double> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        rates[i] = 0.01 + 0.0005 * static_cast<double>(i % 97);
+        sizes[i] = 10.0 + 0.125 * static_cast<double>(i % 33);
+    }
+    for (auto _ : state) {
+        solveComputeFractionBatch(rates.data(), sizes.data(),
+                                  stages.data(), count, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_NetworkBatch)->Arg(16)->Arg(64)->Arg(256);
+
+void
 BM_FullBusEvaluation(benchmark::State &state)
 {
     const WorkloadParams params = middleParams();

@@ -112,14 +112,31 @@ std::vector<double> patelStageLoads(double m0, unsigned stages);
 double solveComputeFraction(double rate, double size, unsigned stages);
 
 /**
- * Batched fixed-point solve: one bisection sweep over @p count
- * operating points held in contiguous arrays.
+ * Enables/disables warm-bracket seeding in the batched fixed-point
+ * sweep, overriding the SWCC_WARM_BRACKET environment gate. Warm
+ * seeding starts a cell's bisection from a sign-verified dyadic
+ * sub-bracket near the previous cell's converged U, cutting
+ * iterations on monotone curve sweeps while staying bitwise identical
+ * to the cold solve (the sub-bracket is exactly the one cold
+ * bisection reaches at that depth). Thread-safe.
+ */
+void setWarmBracketEnabled(bool enabled);
+
+/** True unless disabled via SWCC_WARM_BRACKET=off or the setter. */
+bool warmBracketEnabled();
+
+/**
+ * Batched fixed-point solve: one lane-parallel bisection sweep over
+ * @p count operating points held in contiguous arrays.
  *
- * Every bisection iteration updates all still-active points before
- * advancing, so the per-iteration inner loop runs over contiguous
- * lo/hi/demand arrays instead of re-entering the scalar solver per
- * point. Per point, the sequence of bracket updates — and therefore
- * the returned U — is bitwise identical to solveComputeFraction().
+ * Cells are processed in a fixed window of lanes; each bisection step
+ * advances the whole window with one SIMD kernel call (AVX2/NEON when
+ * the CPU supports it and SWCC_SIMD is not off, a scalar loop
+ * otherwise), converged lanes are compacted out and refilled from the
+ * pending cells, and refills warm-start from the previous converged U
+ * (see setWarmBracketEnabled()). Per point, the sequence of bracket
+ * updates — and therefore the returned U — is bitwise identical to
+ * solveComputeFraction() in every mode.
  *
  * @param rates  Transaction rates m > 0, one per point.
  * @param sizes  Transaction sizes t > 0, one per point.

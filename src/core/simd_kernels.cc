@@ -1,0 +1,308 @@
+#include "core/simd_kernels.hh"
+
+#include <cstdint>
+#include <cstring>
+
+// This translation unit is compiled with the vector ISA enabled
+// (-mavx2 on x86-64) and -ffp-contract=off; nothing here may run
+// unless simd::activeIsa() reported vector support. The scalar tails
+// below are compiled with the same flags, so they stay bitwise
+// faithful to the vector lanes and to the plain scalar solvers.
+
+#if defined(__x86_64__) && defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace swcc::simd
+{
+
+namespace
+{
+
+/** Branchless bit-exact select: @p a when @p take_a, else @p b. */
+inline double
+selectDouble(bool take_a, double a, double b)
+{
+    std::uint64_t ua;
+    std::uint64_t ub;
+    std::memcpy(&ua, &a, sizeof ua);
+    std::memcpy(&ub, &b, sizeof ub);
+    const std::uint64_t keep = take_a ? ~std::uint64_t{0} : 0;
+    const std::uint64_t r = (ua & keep) | (ub & ~keep);
+    double out;
+    std::memcpy(&out, &r, sizeof out);
+    return out;
+}
+
+/**
+ * Scalar lane of the bisection sweep; the reference the vector lanes
+ * must match bit for bit (and the remainder-tail implementation).
+ */
+inline void
+bisectLaneScalar(double *lo, double *hi, double demand, double stagesd,
+                 unsigned iters)
+{
+    double lo_r = *lo;
+    double hi_r = *hi;
+    for (unsigned it = 0; it < iters; ++it) {
+        const double mid = 0.5 * (lo_r + hi_r);
+        double m = 1.0 - mid;
+        for (double s = 0.0; s < stagesd; s += 1.0) {
+            const double t = 1.0 - m * 0.5;
+            m = 1.0 - t * t;
+        }
+        const bool gt = m / demand - mid > 0.0;
+        lo_r = selectDouble(gt, mid, lo_r);
+        hi_r = selectDouble(gt, hi_r, mid);
+    }
+    *lo = lo_r;
+    *hi = hi_r;
+}
+
+inline void
+busDeriveLaneScalar(double response, double throughput, double count,
+                    double service, double cpu, double *waiting,
+                    double *bus_util, double *proc_util, double *power)
+{
+    const double w = response - service;
+    *waiting = w;
+    *bus_util = throughput * service;
+    const double pu = 1.0 / (cpu + w);
+    *proc_util = pu;
+    *power = count * pu;
+}
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+/**
+ * One bisection step for a 4-lane group. The stage recursion runs to
+ * the deepest lane in the group; shallower lanes are masked out once
+ * their own count is done (a no-mask fast path serves uniform groups),
+ * so each lane sees exactly its scalar sequence of steps.
+ */
+inline void
+bisectStepAvx2(__m256d &vlo, __m256d &vhi, __m256d vdem, __m256d vstg,
+               double max_stages, bool uniform)
+{
+    const __m256d vhalf = _mm256_set1_pd(0.5);
+    const __m256d vone = _mm256_set1_pd(1.0);
+    const __m256d vmid = _mm256_mul_pd(vhalf, _mm256_add_pd(vlo, vhi));
+    __m256d vm = _mm256_sub_pd(vone, vmid);
+    if (uniform) {
+        for (double s = 0.0; s < max_stages; s += 1.0) {
+            const __m256d vt =
+                _mm256_sub_pd(vone, _mm256_mul_pd(vm, vhalf));
+            vm = _mm256_sub_pd(vone, _mm256_mul_pd(vt, vt));
+        }
+    } else {
+        for (double s = 0.0; s < max_stages; s += 1.0) {
+            const __m256d vt =
+                _mm256_sub_pd(vone, _mm256_mul_pd(vm, vhalf));
+            const __m256d vnext =
+                _mm256_sub_pd(vone, _mm256_mul_pd(vt, vt));
+            const __m256d vlive =
+                _mm256_cmp_pd(_mm256_set1_pd(s), vstg, _CMP_LT_OQ);
+            vm = _mm256_blendv_pd(vm, vnext, vlive);
+        }
+    }
+    const __m256d vresid =
+        _mm256_sub_pd(_mm256_div_pd(vm, vdem), vmid);
+    const __m256d vgt =
+        _mm256_cmp_pd(vresid, _mm256_setzero_pd(), _CMP_GT_OQ);
+    vlo = _mm256_blendv_pd(vlo, vmid, vgt);
+    vhi = _mm256_blendv_pd(vmid, vhi, vgt);
+}
+
+#endif // __AVX2__
+
+} // namespace
+
+void
+bisectSweepVector(double *lo, double *hi, const double *demand,
+                  const double *stagesd, unsigned lanes, unsigned iters)
+{
+#if defined(__x86_64__) && defined(__AVX2__)
+    unsigned l = 0;
+    // Four groups advance together, iteration-outer, so four
+    // independent stage-recursion chains are in flight at once. One
+    // group alone is latency-bound: each bisection step is a serial
+    // mul/sub chain, and back-to-back iterations of a single group
+    // leave the FP ports mostly idle.
+    for (; l + 16 <= lanes; l += 16) {
+        __m256d vlo[4];
+        __m256d vhi[4];
+        __m256d vdem[4];
+        __m256d vstg[4];
+        double mx[4];
+        bool uni[4];
+        for (unsigned g = 0; g < 4; ++g) {
+            const unsigned base = l + 4 * g;
+            mx[g] = stagesd[base];
+            uni[g] = true;
+            for (unsigned i = 1; i < 4; ++i) {
+                uni[g] = uni[g] && stagesd[base + i] == stagesd[base];
+                if (stagesd[base + i] > mx[g]) {
+                    mx[g] = stagesd[base + i];
+                }
+            }
+            vlo[g] = _mm256_loadu_pd(lo + base);
+            vhi[g] = _mm256_loadu_pd(hi + base);
+            vdem[g] = _mm256_loadu_pd(demand + base);
+            vstg[g] = _mm256_loadu_pd(stagesd + base);
+        }
+        for (unsigned it = 0; it < iters; ++it) {
+            for (unsigned g = 0; g < 4; ++g) {
+                bisectStepAvx2(vlo[g], vhi[g], vdem[g], vstg[g],
+                               mx[g], uni[g]);
+            }
+        }
+        for (unsigned g = 0; g < 4; ++g) {
+            _mm256_storeu_pd(lo + l + 4 * g, vlo[g]);
+            _mm256_storeu_pd(hi + l + 4 * g, vhi[g]);
+        }
+    }
+    for (; l + 4 <= lanes; l += 4) {
+        double max_stages = stagesd[l];
+        bool uniform = true;
+        for (unsigned i = 1; i < 4; ++i) {
+            uniform = uniform && stagesd[l + i] == stagesd[l];
+            if (stagesd[l + i] > max_stages) {
+                max_stages = stagesd[l + i];
+            }
+        }
+        __m256d vlo = _mm256_loadu_pd(lo + l);
+        __m256d vhi = _mm256_loadu_pd(hi + l);
+        const __m256d vdem = _mm256_loadu_pd(demand + l);
+        const __m256d vstg = _mm256_loadu_pd(stagesd + l);
+        for (unsigned it = 0; it < iters; ++it) {
+            bisectStepAvx2(vlo, vhi, vdem, vstg, max_stages, uniform);
+        }
+        _mm256_storeu_pd(lo + l, vlo);
+        _mm256_storeu_pd(hi + l, vhi);
+    }
+    for (; l < lanes; ++l) {
+        bisectLaneScalar(lo + l, hi + l, demand[l], stagesd[l], iters);
+    }
+#elif defined(__aarch64__)
+    const float64x2_t vhalf = vdupq_n_f64(0.5);
+    const float64x2_t vone = vdupq_n_f64(1.0);
+    const float64x2_t vzero = vdupq_n_f64(0.0);
+    unsigned l = 0;
+    for (; l + 2 <= lanes; l += 2) {
+        double max_stages = stagesd[l];
+        if (stagesd[l + 1] > max_stages) {
+            max_stages = stagesd[l + 1];
+        }
+        float64x2_t vlo = vld1q_f64(lo + l);
+        float64x2_t vhi = vld1q_f64(hi + l);
+        const float64x2_t vdem = vld1q_f64(demand + l);
+        const float64x2_t vstg = vld1q_f64(stagesd + l);
+        for (unsigned it = 0; it < iters; ++it) {
+            const float64x2_t vmid =
+                vmulq_f64(vhalf, vaddq_f64(vlo, vhi));
+            float64x2_t vm = vsubq_f64(vone, vmid);
+            for (double s = 0.0; s < max_stages; s += 1.0) {
+                const float64x2_t vt =
+                    vsubq_f64(vone, vmulq_f64(vm, vhalf));
+                const float64x2_t vnext =
+                    vsubq_f64(vone, vmulq_f64(vt, vt));
+                const uint64x2_t vlive =
+                    vcltq_f64(vdupq_n_f64(s), vstg);
+                vm = vbslq_f64(vlive, vnext, vm);
+            }
+            const float64x2_t vresid =
+                vsubq_f64(vdivq_f64(vm, vdem), vmid);
+            const uint64x2_t vgt = vcgtq_f64(vresid, vzero);
+            vlo = vbslq_f64(vgt, vmid, vlo);
+            vhi = vbslq_f64(vgt, vhi, vmid);
+        }
+        vst1q_f64(lo + l, vlo);
+        vst1q_f64(hi + l, vhi);
+    }
+    for (; l < lanes; ++l) {
+        bisectLaneScalar(lo + l, hi + l, demand[l], stagesd[l], iters);
+    }
+#else
+    // Unreachable behind dispatch (activeIsa() is Scalar here), but
+    // keep a correct definition so the symbol always links.
+    for (unsigned l = 0; l < lanes; ++l) {
+        bisectLaneScalar(lo + l, hi + l, demand[l], stagesd[l], iters);
+    }
+#endif
+}
+
+void
+busDeriveVector(const double *responses, const double *throughputs,
+                double service, double cpu, std::size_t base,
+                std::size_t n, double *waiting, double *bus_util,
+                double *proc_util, double *power)
+{
+#if defined(__x86_64__) && defined(__AVX2__)
+    const __m256d vsvc = _mm256_set1_pd(service);
+    const __m256d vcpu = _mm256_set1_pd(cpu);
+    const __m256d vone = _mm256_set1_pd(1.0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d vcnt =
+            _mm256_set_pd(static_cast<double>(base + i + 4),
+                          static_cast<double>(base + i + 3),
+                          static_cast<double>(base + i + 2),
+                          static_cast<double>(base + i + 1));
+        const __m256d vresp = _mm256_loadu_pd(responses + i);
+        const __m256d vthr = _mm256_loadu_pd(throughputs + i);
+        const __m256d vw = _mm256_sub_pd(vresp, vsvc);
+        const __m256d vbu = _mm256_mul_pd(vthr, vsvc);
+        const __m256d vpu =
+            _mm256_div_pd(vone, _mm256_add_pd(vcpu, vw));
+        const __m256d vpw = _mm256_mul_pd(vcnt, vpu);
+        _mm256_storeu_pd(waiting + i, vw);
+        _mm256_storeu_pd(bus_util + i, vbu);
+        _mm256_storeu_pd(proc_util + i, vpu);
+        _mm256_storeu_pd(power + i, vpw);
+    }
+    for (; i < n; ++i) {
+        busDeriveLaneScalar(responses[i], throughputs[i],
+                            static_cast<double>(base + i + 1), service,
+                            cpu, waiting + i, bus_util + i,
+                            proc_util + i, power + i);
+    }
+#elif defined(__aarch64__)
+    const float64x2_t vsvc = vdupq_n_f64(service);
+    const float64x2_t vcpu = vdupq_n_f64(cpu);
+    const float64x2_t vone = vdupq_n_f64(1.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const double cnt[2] = {static_cast<double>(base + i + 1),
+                               static_cast<double>(base + i + 2)};
+        const float64x2_t vcnt = vld1q_f64(cnt);
+        const float64x2_t vresp = vld1q_f64(responses + i);
+        const float64x2_t vthr = vld1q_f64(throughputs + i);
+        const float64x2_t vw = vsubq_f64(vresp, vsvc);
+        const float64x2_t vbu = vmulq_f64(vthr, vsvc);
+        const float64x2_t vpu =
+            vdivq_f64(vone, vaddq_f64(vcpu, vw));
+        const float64x2_t vpw = vmulq_f64(vcnt, vpu);
+        vst1q_f64(waiting + i, vw);
+        vst1q_f64(bus_util + i, vbu);
+        vst1q_f64(proc_util + i, vpu);
+        vst1q_f64(power + i, vpw);
+    }
+    for (; i < n; ++i) {
+        busDeriveLaneScalar(responses[i], throughputs[i],
+                            static_cast<double>(base + i + 1), service,
+                            cpu, waiting + i, bus_util + i,
+                            proc_util + i, power + i);
+    }
+#else
+    for (std::size_t i = 0; i < n; ++i) {
+        busDeriveLaneScalar(responses[i], throughputs[i],
+                            static_cast<double>(base + i + 1), service,
+                            cpu, waiting + i, bus_util + i,
+                            proc_util + i, power + i);
+    }
+#endif
+}
+
+} // namespace swcc::simd

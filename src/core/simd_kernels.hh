@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Vector solver kernels (AVX2 on x86-64, NEON on AArch64).
+ *
+ * These functions live in a translation unit compiled with the vector
+ * ISA enabled (and FMA contraction disabled); callers must gate every
+ * call on simd::activeIsa() != Isa::Scalar, which guarantees the CPU
+ * supports the instructions the kernel was compiled to.
+ *
+ * Each kernel performs exactly the elementwise IEEE-754 operations of
+ * its scalar counterpart, in the same order, so results are bitwise
+ * identical lane for lane.
+ */
+
+#ifndef SWCC_CORE_SIMD_KERNELS_HH
+#define SWCC_CORE_SIMD_KERNELS_HH
+
+#include <cstddef>
+
+namespace swcc::simd
+{
+
+/**
+ * Runs @p iters bisection iterations over @p lanes cells of the
+ * network fixed-point sweep. Per lane l, per iteration:
+ *
+ *   mid = 0.5 * (lo[l] + hi[l])
+ *   m   = 1 - mid, pushed through stagesd[l] Patel stage steps
+ *   if (m / demand[l] - mid > 0) lo[l] = mid; else hi[l] = mid;
+ *
+ * Brackets stay in vector registers across all @p iters iterations
+ * (the caller knows each cell's convergence depth a priori — the
+ * bracket width halves exactly every step — so no per-iteration
+ * convergence checks are needed).
+ *
+ * Stage counts are carried as doubles so lanes with fewer stages can
+ * be masked out of the shared recursion (the blend discards the extra
+ * steps, preserving the per-lane scalar sequence bit for bit).
+ * Comparisons are ordered-quiet, so a NaN residual routes to the
+ * else-branch exactly like the scalar `> 0.0` test.
+ *
+ * @p lanes need not be a vector multiple; the remainder runs through
+ * an in-kernel scalar tail with identical arithmetic.
+ */
+void bisectSweepVector(double *lo, double *hi, const double *demand,
+                       const double *stagesd, unsigned lanes,
+                       unsigned iters);
+
+/**
+ * Bus-curve derive pass over a chunk of @p n populations starting at
+ * global index @p base (population = base + i + 1). Per index i:
+ *
+ *   waiting[i]   = responses[i] - service
+ *   bus_util[i]  = throughputs[i] * service
+ *   proc_util[i] = 1 / (cpu + waiting[i])
+ *   power[i]     = (double)(base + i + 1) * proc_util[i]
+ *
+ * The chunked interface lets the caller use small stack output
+ * buffers instead of heap-allocating whole-curve arrays.
+ */
+void busDeriveVector(const double *responses, const double *throughputs,
+                     double service, double cpu, std::size_t base,
+                     std::size_t n, double *waiting, double *bus_util,
+                     double *proc_util, double *power);
+
+} // namespace swcc::simd
+
+#endif // SWCC_CORE_SIMD_KERNELS_HH

@@ -16,7 +16,7 @@ BaseProtocol::access(CpuId cpu, RefType type, Addr addr, AccessResult &out)
     if (CacheLine *line = cache.find(addr)) {
         cache.touch(*line);
         if (type == RefType::Store) {
-            line->state = LineState::Dirty;
+            setLineState(cpu, *line, LineState::Dirty);
         }
         return;
     }

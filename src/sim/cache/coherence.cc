@@ -1,5 +1,6 @@
 #include "sim/cache/coherence.hh"
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 
@@ -11,6 +12,17 @@ namespace swcc
 
 namespace
 {
+
+#if SWCC_OBS_ENABLED
+/** Publishes the active snoop path (1 = Directory, 0 = scan). */
+void
+noteSnoopPath(bool directory)
+{
+    static obs::Gauge &path =
+        obs::metrics().gauge("sim.snoop_path.directory");
+    path.set(directory ? 1.0 : 0.0);
+}
+#endif
 
 bool
 isMissOp(Operation op)
@@ -66,6 +78,9 @@ CoherenceProtocol::CoherenceProtocol(const CacheConfig &cache_config,
         directory_ = HolderMap(static_cast<std::size_t>(num_cpus) *
                                caches_.front().lines().size());
     }
+#if SWCC_OBS_ENABLED
+    noteSnoopPath(useDirectory_);
+#endif
 }
 
 void
@@ -80,24 +95,43 @@ CoherenceProtocol::setSnoopPath(SnoopPath path)
     if (path == SnoopPath::Directory &&
         numCpus() > kMaxDirectoryCpus) {
         // The silent fallback here once made a 128-CPU "directory"
-        // benchmark measure the scan path; say what actually runs.
-        SWCC_LOG_WARN(
+        // benchmark measure the scan path; say what actually runs —
+        // but only once, or a >64-CPU sweep drowns the log in the
+        // same warning for every constructed system.
+        static std::atomic<unsigned> fallback_warnings{0};
+        const std::string message =
             "snoop path Directory requested for " +
             std::to_string(numCpus()) +
             " CPUs but the sharer index holds at most " +
             std::to_string(CoherenceProtocol::kMaxDirectoryCpus) +
-            "; falling back to ReferenceScan");
+            "; falling back to ReferenceScan";
+        if (fallback_warnings.fetch_add(
+                1, std::memory_order_relaxed) == 0) {
+            SWCC_LOG_WARN(message +
+                          " (further fallback warnings suppressed)");
+        } else {
+            SWCC_LOG_DEBUG(message);
+        }
     }
     useDirectory_ = path == SnoopPath::Directory &&
         numCpus() <= kMaxDirectoryCpus;
     SWCC_LOG_DEBUG(std::string("snoop path set to ") +
                    (useDirectory_ ? "Directory" : "ReferenceScan"));
+#if SWCC_OBS_ENABLED
+    noteSnoopPath(useDirectory_);
+#endif
 }
 
 CoherenceProtocol::HolderMask
 CoherenceProtocol::holderMask(Addr block) const
 {
     return directory_.mask(block);
+}
+
+CoherenceProtocol::HolderMask
+CoherenceProtocol::dirtyHolderMask(Addr block) const
+{
+    return directory_.dirtyMask(block);
 }
 
 bool
@@ -117,7 +151,7 @@ CoherenceProtocol::fillLine(CpuId cpu, CacheLine &victim, Addr addr,
 {
     caches_[cpu].fill(victim, addr, state);
     if (useDirectory_) {
-        directory_.setBit(victim.blockAddr, cpu);
+        directory_.setBit(victim.blockAddr, cpu, isDirtyState(state));
     }
 }
 
@@ -134,16 +168,10 @@ bool
 CoherenceProtocol::dirtyElsewhere(CpuId cpu, Addr block) const
 {
     if (useDirectory_) {
-        HolderMask mask = directory_.mask(block) & ~cpuBit(cpu);
-        while (mask != 0) {
-            const auto other = static_cast<CpuId>(std::countr_zero(mask));
-            mask &= mask - 1;
-            const CacheLine *line = caches_[other].find(block);
-            if (line != nullptr && isDirtyState(line->state)) {
-                return true;
-            }
-        }
-        return false;
+        // The dirty-holder bitset is maintained by fillLine()/
+        // setLineState()/invalidateLine(), so no holder cache needs
+        // to be probed at all.
+        return (directory_.dirtyMask(block) & ~cpuBit(cpu)) != 0;
     }
     for (CpuId other = 0; other < numCpus(); ++other) {
         if (other == cpu) {
@@ -187,6 +215,7 @@ checkCoherenceInvariants(const CoherenceProtocol &protocol)
         unsigned owners = 0;
         unsigned exclusives = 0;
         CoherenceProtocol::HolderMask mask = 0;
+        CoherenceProtocol::HolderMask dirty = 0;
     };
     std::unordered_map<Addr, BlockView> blocks;
 
@@ -200,6 +229,7 @@ checkCoherenceInvariants(const CoherenceProtocol &protocol)
             view.mask |= CoherenceProtocol::HolderMask{1} << cpu;
             if (isDirtyState(line.state)) {
                 ++view.owners;
+                view.dirty |= CoherenceProtocol::HolderMask{1} << cpu;
             }
             if (line.state == LineState::Exclusive ||
                 line.state == LineState::Dirty) {
@@ -234,6 +264,12 @@ checkCoherenceInvariants(const CoherenceProtocol &protocol)
             if (protocol.holderMask(addr) != view.mask) {
                 throw std::logic_error(
                     "sharer index disagrees with the caches on block " +
+                    std::to_string(addr));
+            }
+            if (protocol.dirtyHolderMask(addr) != view.dirty) {
+                throw std::logic_error(
+                    "sharer index dirty bitset disagrees with the "
+                    "caches on block " +
                     std::to_string(addr));
             }
         }

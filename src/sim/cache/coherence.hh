@@ -165,6 +165,13 @@ class CoherenceProtocol
      */
     HolderMask holderMask(Addr block) const;
 
+    /**
+     * The sharer index's dirty-holder bitset for @p block — the
+     * holders whose copy is in an owner (dirty) state; for tests and
+     * invariants. Always a subset of holderMask().
+     */
+    HolderMask dirtyHolderMask(Addr block) const;
+
     /** Number of blocks the sharer index currently tracks. */
     std::size_t directoryBlocks() const { return directory_.size(); }
 
@@ -188,7 +195,30 @@ class CoherenceProtocol
      */
     void invalidateLine(CpuId cpu, CacheLine &line);
 
-    /** True if another cache holds @p block dirty. */
+    /**
+     * Rewrites a valid @p line's state, keeping the sharer index's
+     * dirty-holder bitset in sync when the transition crosses the
+     * clean/dirty boundary. Every protocol state transition on a
+     * valid line must go through here (or fillLine()/
+     * invalidateLine()) so that dirtyElsewhere() can answer from the
+     * index alone, without probing holder caches.
+     */
+    void
+    setLineState(CpuId cpu, CacheLine &line, LineState state)
+    {
+        if (useDirectory_ &&
+            isDirtyState(line.state) != isDirtyState(state)) {
+            directory_.setDirty(line.blockAddr, cpu,
+                                isDirtyState(state));
+        }
+        line.state = state;
+    }
+
+    /**
+     * True if another cache holds @p block dirty. On the directory
+     * path this is one hash probe of the dirty-holder bitset; the
+     * reference scan probes every other cache.
+     */
     bool dirtyElsewhere(CpuId cpu, Addr block) const;
 
     /** Other caches currently holding @p block (excluding @p cpu). */

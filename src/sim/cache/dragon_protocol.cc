@@ -54,14 +54,14 @@ DragonProtocol::handleMiss(CpuId cpu, Addr addr, AccessResult &out)
     unsigned holders = 0;
     // Safe: victim was invalidated above, so the holder walk can't
     // alias it.
-    forEachOtherHolder(cpu, block, [&](CpuId, CacheLine &line) {
+    forEachOtherHolder(cpu, block, [&](CpuId other, CacheLine &line) {
         ++holders;
         // Everyone sees the fill on the bus and knows the block is now
         // shared. Dirty owners keep ownership (they supplied the data).
         if (line.state == LineState::Exclusive) {
-            line.state = LineState::SharedClean;
+            setLineState(other, line, LineState::SharedClean);
         } else if (line.state == LineState::Dirty) {
-            line.state = LineState::SharedDirty;
+            setLineState(other, line, LineState::SharedDirty);
         }
     });
 
@@ -92,11 +92,13 @@ DragonProtocol::broadcast(CpuId cpu, CacheLine &line, AccessResult &out)
         // The holder's controller updates the word in place, stealing a
         // cycle from its processor; a previous owner loses ownership.
         out.steals.push_back(other);
-        copy.state = LineState::SharedClean;
+        setLineState(other, copy, LineState::SharedClean);
     });
     measured_.broadcastCopies += holders;
 
-    line.state = holders > 0 ? LineState::SharedDirty : LineState::Dirty;
+    setLineState(cpu, line,
+                 holders > 0 ? LineState::SharedDirty
+                             : LineState::Dirty);
 }
 
 void
@@ -142,7 +144,7 @@ DragonProtocol::access(CpuId cpu, RefType type, Addr addr,
       case LineState::Exclusive:
       case LineState::Dirty:
         // Sole copy: write locally, no bus action.
-        line->state = LineState::Dirty;
+        setLineState(cpu, *line, LineState::Dirty);
         return;
       case LineState::SharedClean:
       case LineState::SharedDirty:

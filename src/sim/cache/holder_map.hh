@@ -31,7 +31,14 @@
 namespace swcc
 {
 
-/** Block address → bitset of the caches holding the block. */
+/**
+ * Block address → bitset of the caches holding the block, plus a
+ * second bitset of the holders whose copy is dirty (an owner state:
+ * Dirty or SharedDirty). The dirty bitset is always a subset of the
+ * holder bitset, letting "is this block dirty in any other cache?" —
+ * asked on every miss by the update-based protocols — be answered
+ * with one probe instead of a find() in every holder's cache.
+ */
 class HolderMap
 {
   public:
@@ -72,9 +79,27 @@ class HolderMap
         }
     }
 
-    /** Sets holder bit @p cpu of @p block, inserting it if absent. */
+    /** The dirty-holder bitset of @p block (0 when absent). */
+    Mask
+    dirtyMask(Addr block) const
+    {
+        if (slots_.empty()) {
+            return 0;
+        }
+        for (std::size_t i = home(block);; i = next(i)) {
+            const Slot &slot = slots_[i];
+            if (slot.mask == 0 || slot.key == block) {
+                return slot.dirty;
+            }
+        }
+    }
+
+    /**
+     * Sets holder bit @p cpu of @p block, inserting it if absent, and
+     * records whether that holder's copy is dirty.
+     */
     void
-    setBit(Addr block, CpuId cpu)
+    setBit(Addr block, CpuId cpu, bool dirty = false)
     {
         for (std::size_t i = home(block);; i = next(i)) {
             Slot &slot = slots_[i];
@@ -85,10 +110,45 @@ class HolderMap
                 }
                 slot.key = block;
                 slot.mask = cpuBit(cpu);
+                slot.dirty = dirty ? cpuBit(cpu) : 0;
                 return;
             }
             if (slot.key == block) {
                 slot.mask |= cpuBit(cpu);
+                if (dirty) {
+                    slot.dirty |= cpuBit(cpu);
+                } else {
+                    slot.dirty &= ~cpuBit(cpu);
+                }
+                return;
+            }
+        }
+    }
+
+    /**
+     * Flips holder @p cpu's dirty bit for @p block to @p dirty.
+     * A no-op when the block is absent (mirrors clearBit()).
+     */
+    void
+    setDirty(Addr block, CpuId cpu, bool dirty)
+    {
+        if (slots_.empty()) {
+            return;
+        }
+        for (std::size_t i = home(block);; i = next(i)) {
+            Slot &slot = slots_[i];
+            if (slot.mask == 0) {
+                return;
+            }
+            if (slot.key == block) {
+                if (dirty) {
+                    // Only holders may carry a dirty bit; marking a
+                    // non-holder would break the dirty-subset-of-mask
+                    // invariant the snoop fast path relies on.
+                    slot.dirty |= cpuBit(cpu) & slot.mask;
+                } else {
+                    slot.dirty &= ~cpuBit(cpu);
+                }
                 return;
             }
         }
@@ -112,6 +172,7 @@ class HolderMap
             }
             if (slot.key == block) {
                 slot.mask &= ~cpuBit(cpu);
+                slot.dirty &= ~cpuBit(cpu);
                 if (slot.mask == 0) {
                     --size_;
                     eraseAt(i);
@@ -126,6 +187,8 @@ class HolderMap
     {
         Addr key = 0;
         Mask mask = 0;
+        /** Holders whose copy is in an owner state; subset of mask. */
+        Mask dirty = 0;
     };
 
     static Mask
@@ -171,6 +234,7 @@ class HolderMap
             }
         }
         slots_[i].mask = 0;
+        slots_[i].dirty = 0;
     }
 
     std::vector<Slot> slots_;

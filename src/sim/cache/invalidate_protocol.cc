@@ -62,16 +62,16 @@ InvalidateProtocol::handleMiss(CpuId cpu, RefType type, Addr addr,
 
     bool supplied_by_cache = false;
     unsigned holders = 0;
-    forEachOtherHolder(cpu, block, [&](CpuId, CacheLine &line) {
+    forEachOtherHolder(cpu, block, [&](CpuId other, CacheLine &line) {
         ++holders;
         if (isDirtyState(line.state)) {
             // Illinois: the owner supplies the block and memory is
             // updated in the same transaction; the owner keeps a
             // shared clean copy.
             supplied_by_cache = true;
-            line.state = LineState::SharedClean;
+            setLineState(other, line, LineState::SharedClean);
         } else if (line.state == LineState::Exclusive) {
-            line.state = LineState::SharedClean;
+            setLineState(other, line, LineState::SharedClean);
         }
     });
 
@@ -95,7 +95,7 @@ InvalidateProtocol::handleMiss(CpuId cpu, RefType type, Addr addr,
             invalidateRemotes(cpu, block, out);
         }
         CacheLine *line = cache.find(addr);
-        line->state = LineState::Dirty;
+        setLineState(cpu, *line, LineState::Dirty);
         return *line;
     }
     return victim;
@@ -127,13 +127,13 @@ InvalidateProtocol::access(CpuId cpu, RefType type, Addr addr,
     switch (line->state) {
       case LineState::Exclusive:
       case LineState::Dirty:
-        line->state = LineState::Dirty;
+        setLineState(cpu, *line, LineState::Dirty);
         return;
       case LineState::SharedClean: {
         out.addOp(Operation::WriteBroadcast);
         ++measured_.invalidations;
         invalidateRemotes(cpu, cache.blockAddr(addr), out);
-        line->state = LineState::Dirty;
+        setLineState(cpu, *line, LineState::Dirty);
         return;
       }
       case LineState::SharedDirty:

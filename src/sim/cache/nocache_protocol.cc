@@ -35,7 +35,7 @@ NoCacheProtocol::access(CpuId cpu, RefType type, Addr addr,
     if (CacheLine *line = cache.find(addr)) {
         cache.touch(*line);
         if (type == RefType::Store) {
-            line->state = LineState::Dirty;
+            setLineState(cpu, *line, LineState::Dirty);
         }
         return;
     }

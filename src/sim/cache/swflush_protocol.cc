@@ -31,7 +31,7 @@ SwFlushProtocol::access(CpuId cpu, RefType type, Addr addr,
     if (CacheLine *line = cache.find(addr)) {
         cache.touch(*line);
         if (type == RefType::Store) {
-            line->state = LineState::Dirty;
+            setLineState(cpu, *line, LineState::Dirty);
         }
         return;
     }

@@ -122,9 +122,12 @@ TEST(CampaignAtomicFileTest, WritesContentAndLeavesNoTempFiles)
     campaign::atomicWriteFile(
         path, [](std::ostream &os) { os << "hello\nworld\n"; });
     EXPECT_EQ(slurp(path), "hello\nworld\n");
+    // Only look for temporaries of *this* destination: the shared
+    // temp directory can transiently hold another test's in-flight
+    // .tmp. file when ctest runs suites in parallel.
     for (const auto &entry :
          fs::directory_iterator(fs::path(path).parent_path())) {
-        EXPECT_EQ(entry.path().string().find(".tmp."),
+        EXPECT_EQ(entry.path().string().find("atomic_basic.txt.tmp."),
                   std::string::npos)
             << "leftover temporary: " << entry.path();
     }

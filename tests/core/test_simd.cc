@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Bitwise-identity tests for the vector solver kernels: the batched
+ * bisection sweep and the bus-curve derive pass must produce results
+ * bit-for-bit identical to the scalar solvers in every gate mode
+ * (SIMD on/off x warm-bracket on/off), across batch sizes straddling
+ * the vector lane width and the sweep window, for degenerate inputs,
+ * and under concurrent use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/bus_model.hh"
+#include "core/network_model.hh"
+#include "core/simd.hh"
+
+namespace swcc
+{
+namespace
+{
+
+/** Forces both solver gates for one test, restoring defaults after. */
+class GateGuard
+{
+  public:
+    GateGuard(bool simd, bool warm)
+    {
+        simd::setSimdEnabled(simd);
+        setWarmBracketEnabled(warm);
+    }
+    ~GateGuard()
+    {
+        simd::setSimdEnabled(true);
+        setWarmBracketEnabled(true);
+    }
+};
+
+/** A batch of operating points exercising mixed stage counts. */
+struct Batch
+{
+    std::vector<double> rates;
+    std::vector<double> sizes;
+    std::vector<unsigned> stages;
+
+    std::size_t count() const { return rates.size(); }
+};
+
+Batch
+makeBatch(std::size_t count)
+{
+    Batch b;
+    for (std::size_t i = 0; i < count; ++i) {
+        b.rates.push_back(0.005 + 0.002 * static_cast<double>(i % 29));
+        b.sizes.push_back(8.0 + 0.5 * static_cast<double>(i % 13));
+        b.stages.push_back(1 + static_cast<unsigned>(i % 13));
+    }
+    return b;
+}
+
+std::vector<double>
+solveBatch(const Batch &b, bool simd, bool warm)
+{
+    const GateGuard guard(simd, warm);
+    std::vector<double> out(b.count());
+    solveComputeFractionBatch(b.rates.data(), b.sizes.data(),
+                              b.stages.data(), b.count(), out.data());
+    return out;
+}
+
+/** Bit-level equality: distinguishes -0.0/+0.0 and compares NaNs. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void
+expectSameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(sameBits(a[i], b[i]))
+            << "cell " << i << ": " << a[i] << " vs " << b[i];
+    }
+}
+
+TEST(SimdTest, DispatchReportsAConsistentIsa)
+{
+    const simd::Isa isa = simd::activeIsa();
+    EXPECT_EQ(simd::laneWidth(), simd::laneWidth(isa));
+    EXPECT_NE(simd::isaName(isa), nullptr);
+    switch (isa) {
+    case simd::Isa::Scalar:
+        EXPECT_EQ(simd::laneWidth(isa), 1u);
+        break;
+    case simd::Isa::Neon:
+        EXPECT_EQ(simd::laneWidth(isa), 2u);
+        break;
+    case simd::Isa::Avx2:
+        EXPECT_EQ(simd::laneWidth(isa), 4u);
+        break;
+    }
+}
+
+TEST(SimdTest, SetterForcesScalarDispatch)
+{
+    simd::setSimdEnabled(false);
+    EXPECT_EQ(simd::activeIsa(), simd::Isa::Scalar);
+    EXPECT_FALSE(simd::simdEnabled());
+    simd::setSimdEnabled(true);
+    // With the gate open the ISA is whatever the CPU supports; the
+    // call must simply not be stuck at Scalar on vector hardware.
+    EXPECT_EQ(simd::simdEnabled(),
+              simd::activeIsa() != simd::Isa::Scalar);
+}
+
+TEST(SimdTest, BatchMatchesScalarSolverAcrossLaneBoundaries)
+{
+    // Sizes straddling the 4-lane groups and the 16-lane window.
+    for (std::size_t count :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+          std::size_t{5}, std::size_t{7}, std::size_t{8}, std::size_t{15},
+          std::size_t{16}, std::size_t{17}, std::size_t{31},
+          std::size_t{33}, std::size_t{40}}) {
+        const Batch b = makeBatch(count);
+        const std::vector<double> vec = solveBatch(b, true, true);
+        const GateGuard guard(false, false);
+        for (std::size_t i = 0; i < count; ++i) {
+            const double ref =
+                solveComputeFraction(b.rates[i], b.sizes[i], b.stages[i]);
+            EXPECT_TRUE(sameBits(vec[i], ref))
+                << "count " << count << " cell " << i;
+        }
+    }
+}
+
+TEST(SimdTest, AllGateModesAgreeBitwise)
+{
+    for (std::size_t count : {std::size_t{6}, std::size_t{19},
+                              std::size_t{48}}) {
+        const Batch b = makeBatch(count);
+        const std::vector<double> base = solveBatch(b, false, false);
+        expectSameBits(solveBatch(b, true, false), base);
+        expectSameBits(solveBatch(b, false, true), base);
+        expectSameBits(solveBatch(b, true, true), base);
+    }
+}
+
+TEST(SimdTest, UniformStageBatchesTakeTheFastPathIdentically)
+{
+    // All cells at one machine size: every 4-lane group is uniform,
+    // exercising the no-mask kernel path.
+    for (unsigned stages : {1u, 4u, 8u, 12u}) {
+        Batch b = makeBatch(24);
+        for (auto &s : b.stages) {
+            s = stages;
+        }
+        const std::vector<double> base = solveBatch(b, false, false);
+        expectSameBits(solveBatch(b, true, true), base);
+    }
+}
+
+TEST(SimdTest, DegenerateBracketsAgreeBitwise)
+{
+    // Extreme demands drive the fixed point against the bracket ends:
+    // tiny demand pushes U toward 1, huge demand toward 0.
+    Batch b;
+    for (double rate : {1e-12, 1e-6, 0.02, 0.5, 1.0, 1e6}) {
+        for (double size : {1e-9, 1.0, 12.0, 1e9}) {
+            b.rates.push_back(rate);
+            b.sizes.push_back(size);
+            b.stages.push_back(
+                1 + static_cast<unsigned>(b.rates.size() % 12));
+        }
+    }
+    const std::vector<double> base = solveBatch(b, false, false);
+    expectSameBits(solveBatch(b, true, false), base);
+    expectSameBits(solveBatch(b, true, true), base);
+}
+
+TEST(SimdTest, NanDemandConvergesIdenticallyInEveryMode)
+{
+    // A NaN rate passes the <= 0 validation (the comparison is false)
+    // and every residual comparison routes to the else-branch, so the
+    // bisection deterministically collapses to the low end. The vector
+    // kernels' ordered-quiet compares must reproduce that exactly.
+    Batch b = makeBatch(9);
+    b.rates[3] = std::numeric_limits<double>::quiet_NaN();
+    b.rates[7] = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> base = solveBatch(b, false, false);
+    expectSameBits(solveBatch(b, true, false), base);
+    expectSameBits(solveBatch(b, true, true), base);
+    const GateGuard guard(false, false);
+    EXPECT_TRUE(sameBits(
+        base[3], solveComputeFraction(b.rates[3], b.sizes[3], b.stages[3])));
+}
+
+TEST(SimdTest, InvalidCellsThrowInEveryMode)
+{
+    Batch b = makeBatch(5);
+    b.rates[2] = 0.0;
+    for (const bool simd : {false, true}) {
+        EXPECT_THROW(solveBatch(b, simd, true), std::invalid_argument);
+    }
+    Batch c = makeBatch(5);
+    c.stages[4] = 0;
+    for (const bool simd : {false, true}) {
+        EXPECT_THROW(solveBatch(c, simd, true), std::invalid_argument);
+    }
+}
+
+TEST(SimdTest, BusCurveMatchesScalarAcrossLaneBoundaries)
+{
+    const PerInstructionCost cost{4.0, 0.75};
+    for (unsigned max : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 32u, 33u,
+                         63u, 64u, 65u, 256u}) {
+        simd::setSimdEnabled(false);
+        const std::vector<BusSolution> scalar = solveBusCurve(cost, max);
+        simd::setSimdEnabled(true);
+        const std::vector<BusSolution> vec = solveBusCurve(cost, max);
+        ASSERT_EQ(scalar.size(), vec.size());
+        for (std::size_t i = 0; i < scalar.size(); ++i) {
+            EXPECT_TRUE(sameBits(scalar[i].waiting, vec[i].waiting));
+            EXPECT_TRUE(
+                sameBits(scalar[i].busUtilization, vec[i].busUtilization));
+            EXPECT_TRUE(sameBits(scalar[i].processorUtilization,
+                                 vec[i].processorUtilization));
+            EXPECT_TRUE(
+                sameBits(scalar[i].processingPower, vec[i].processingPower));
+            EXPECT_TRUE(
+                sameBits(scalar[i].busQueueLength, vec[i].busQueueLength));
+        }
+    }
+}
+
+TEST(ParallelSimdTest, ConcurrentBatchesStayBitIdentical)
+{
+    // Several threads hammer the batched solver while the gates stay
+    // fixed; every thread must reproduce the single-threaded result
+    // bit for bit (the sweep has no shared mutable state beyond the
+    // observability counters).
+    const Batch b = makeBatch(37);
+    const std::vector<double> expected = solveBatch(b, true, true);
+    const GateGuard guard(true, true);
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kRounds = 25;
+    std::vector<int> mismatches(kThreads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t]() {
+            std::vector<double> out(b.count());
+            for (unsigned round = 0; round < kRounds; ++round) {
+                solveComputeFractionBatch(b.rates.data(), b.sizes.data(),
+                                          b.stages.data(), b.count(),
+                                          out.data());
+                for (std::size_t i = 0; i < out.size(); ++i) {
+                    if (!sameBits(out[i], expected[i])) {
+                        ++mismatches[t];
+                    }
+                }
+            }
+        });
+    }
+    for (auto &w : workers) {
+        w.join();
+    }
+    for (unsigned t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+    }
+}
+
+} // namespace
+} // namespace swcc

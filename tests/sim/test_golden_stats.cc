@@ -87,6 +87,37 @@ TEST(GoldenStatsTest, InvalidateProtocolMatchesReferenceScan)
     }
 }
 
+TEST(GoldenStatsTest, UpdateSchemesMatchReferenceScanAtLargeCpuCounts)
+{
+    // The dirty-holder bitset lets update-based schemes service bus
+    // writes from the directory instead of scanning every cache; at
+    // 32-48 CPUs on a sharing-heavy profile that path carries real
+    // traffic (many holders, mixed clean/dirty copies), so byte-equal
+    // statistics here pin the whole off-Base directory fast path.
+    for (const CpuId cpus : {CpuId{32}, CpuId{48}}) {
+        const SyntheticWorkloadConfig workload =
+            profileConfig(AppProfile::PeroLike, cpus, 3'000, 17, false);
+        const TraceBuffer trace = generateTrace(workload);
+        const SharedClassifier shared = workload.sharedClassifier();
+
+        MultiprocessorSystem dragon_ref(Scheme::Dragon, cache64k(),
+                                        cpus, shared);
+        MultiprocessorSystem dragon_dir(Scheme::Dragon, cache64k(),
+                                        cpus, shared);
+        EXPECT_EQ(runOn(dragon_ref, trace, SnoopPath::ReferenceScan),
+                  runOn(dragon_dir, trace, SnoopPath::Directory))
+            << "dragon, " << unsigned{cpus} << " cpus";
+
+        MultiprocessorSystem inv_ref(
+            std::make_unique<InvalidateProtocol>(cache64k(), cpus));
+        MultiprocessorSystem inv_dir(
+            std::make_unique<InvalidateProtocol>(cache64k(), cpus));
+        EXPECT_EQ(runOn(inv_ref, trace, SnoopPath::ReferenceScan),
+                  runOn(inv_dir, trace, SnoopPath::Directory))
+            << "invalidate, " << unsigned{cpus} << " cpus";
+    }
+}
+
 TEST(GoldenStatsTest, SweepStatisticsAreThreadCountInvariant)
 {
     ValidationConfig config;
