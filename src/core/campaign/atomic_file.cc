@@ -59,6 +59,19 @@ atomicWriteFile(const std::string &path,
     // clobber each other's temporaries.
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        // First artifact into a fresh output tree (e.g. a bench run
+        // pointed at bench_results/new-dir/) creates it on demand.
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            throw std::runtime_error("cannot create directory " +
+                                     parent.string() + ": " +
+                                     ec.message());
+        }
+    }
     try {
         {
             std::ofstream os(tmp, binary

@@ -22,7 +22,7 @@ namespace swcc::campaign
 {
 
 /**
- * Writes @p path atomically.
+ * Writes @p path atomically, creating missing parent directories.
  *
  * @p writer receives an output stream positioned at the start of an
  * empty temporary file in the destination directory; when it returns,

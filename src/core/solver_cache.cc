@@ -10,6 +10,8 @@
 
 #include "core/campaign/cell_hash.hh"
 #include "core/cost_model.hh"
+#include "core/obs/metrics.hh"
+#include "core/obs/obs.hh"
 #include "core/workload.hh"
 
 namespace swcc
@@ -48,6 +50,21 @@ std::atomic<int> cache_enabled{-1};
 
 std::atomic<std::uint64_t> cache_hits{0};
 std::atomic<std::uint64_t> cache_misses{0};
+std::atomic<std::uint64_t> cache_evictions{0};
+
+/**
+ * Registers publishSolverCacheMetrics() as a finalize hook, lazily
+ * from the counting paths (a cross-TU static initializer would race
+ * obs's own globals). Idempotent via the function-local static.
+ */
+void
+ensureMetricsHook()
+{
+    [[maybe_unused]] static const bool registered = [] {
+        obs::addFinalizeHook(publishSolverCacheMetrics);
+        return true;
+    }();
+}
 
 std::mutex clearers_mutex;
 std::vector<void (*)()> &
@@ -171,14 +188,38 @@ solverCacheStats()
     SolverCacheStats stats;
     stats.hits = cache_hits.load(std::memory_order_relaxed);
     stats.misses = cache_misses.load(std::memory_order_relaxed);
+    stats.evictions = cache_evictions.load(std::memory_order_relaxed);
     return stats;
 }
 
 void
 noteSolverCacheLookup(bool hit)
 {
+    ensureMetricsHook();
     (hit ? cache_hits : cache_misses)
         .fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+noteSolverCacheEvictions(std::uint64_t count)
+{
+    ensureMetricsHook();
+    cache_evictions.fetch_add(count, std::memory_order_relaxed);
+}
+
+void
+publishSolverCacheMetrics()
+{
+#if SWCC_OBS_ENABLED
+    const SolverCacheStats stats = solverCacheStats();
+    obs::MetricsRegistry &registry = obs::metrics();
+    registry.gauge("solver_cache.hits")
+        .set(static_cast<double>(stats.hits));
+    registry.gauge("solver_cache.misses")
+        .set(static_cast<double>(stats.misses));
+    registry.gauge("solver_cache.evictions")
+        .set(static_cast<double>(stats.evictions));
+#endif
 }
 
 void

@@ -107,11 +107,13 @@ class SolverKeyBuilder
     std::uint64_t hi_;
 };
 
-/** Hit/miss totals across every solver memo in the process. */
+/** Hit/miss/eviction totals across every solver memo in the process. */
 struct SolverCacheStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /** Entries dropped by shard-overflow clears (not clear() calls). */
+    std::uint64_t evictions = 0;
 };
 
 /** True unless disabled by env or setSolverCacheEnabled(false). */
@@ -125,6 +127,19 @@ SolverCacheStats solverCacheStats();
 
 /** @internal Counts one hit/miss into solverCacheStats(). */
 void noteSolverCacheLookup(bool hit);
+
+/** @internal Counts @p count overflow-evicted entries. */
+void noteSolverCacheEvictions(std::uint64_t count);
+
+/**
+ * Mirrors solverCacheStats() into the metrics registry as the
+ * `solver_cache.{hits,misses,evictions}` gauges. Registered as an
+ * obs finalize hook on first cache use, so every `--metrics-out`
+ * artifact carries the totals; callable any time for a mid-run
+ * snapshot (the daemon's stats endpoint reads the raw atomics
+ * instead, which stay live under SWCC_OBS=OFF).
+ */
+void publishSolverCacheMetrics();
 
 /**
  * Drops every entry of every registered memo (tests and
@@ -166,6 +181,7 @@ class SolverMemo
         Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);
         if (shard.map.size() >= kMaxPerShard) {
+            noteSolverCacheEvictions(shard.map.size());
             shard.map.clear();
         }
         shard.map.emplace(key, value);

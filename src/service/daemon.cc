@@ -1,0 +1,798 @@
+#include "service/daemon.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/obs/log.hh"
+#include "core/obs/metrics.hh"
+#include "core/solver_cache.hh"
+#include "service/mpmc_queue.hh"
+#include "service/protocol.hh"
+
+namespace swcc::service
+{
+
+namespace
+{
+
+/** Submission queue capacity (power of two; ~100x a full batch). */
+constexpr std::size_t kQueueCapacity = 8192;
+
+/** Connection read chunk size. */
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * One response slot, owned by its connection, completed exactly once
+ * (by a worker, or inline on the connection thread for control and
+ * error responses).
+ */
+struct Pending
+{
+    std::vector<std::uint8_t> response;
+    std::atomic<bool> done{false};
+};
+
+struct Connection;
+
+/** One decoded, validated query travelling to a batching worker. */
+struct Submission
+{
+    Query query;
+    Connection *conn = nullptr;
+    Pending *slot = nullptr;
+    bool json = false;
+};
+
+} // namespace
+
+struct ServiceDaemon::Impl
+{
+    explicit Impl(DaemonConfig cfg)
+        : config(std::move(cfg)), kernel(config.limits),
+          queue(kQueueCapacity)
+    {
+        if (config.batchMax == 0) {
+            config.batchMax = 1;
+        }
+        if (config.workers == 0) {
+            config.workers = 1;
+        }
+    }
+
+    DaemonConfig config;
+    ServiceKernel kernel;
+
+    MpmcQueue<Submission> queue;
+    std::atomic<std::size_t> queued{0};
+    std::mutex submitMutex;
+    std::condition_variable submitCv;
+    std::atomic<int> sleepers{0};
+    std::atomic<bool> workersStop{false};
+
+    int listenFd = -1;
+    int stopPipe[2] = {-1, -1};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopped{false};
+
+    std::thread acceptor;
+    std::vector<std::thread> workers;
+    std::mutex connectionsMutex;
+    std::vector<std::unique_ptr<Connection>> connections;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> validationErrors{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::int64_t> inflight{0};
+
+#if SWCC_OBS_ENABLED
+    obs::Counter *mQueries = nullptr;
+    obs::Counter *mBatches = nullptr;
+    obs::Counter *mValidationErrors = nullptr;
+    obs::Counter *mProtocolErrors = nullptr;
+    obs::Counter *mConnections = nullptr;
+    obs::Histogram *mBatchSize = nullptr;
+#endif
+
+    void acceptLoop();
+    void workerLoop();
+    void submit(Submission sub);
+    std::string buildStatsJson() const;
+    void reapFinished(bool join_all);
+};
+
+namespace
+{
+
+/** Per-client state and thread body. */
+struct Connection
+{
+    Connection(ServiceDaemon::Impl &daemon, int fd)
+        : daemon_(daemon), fd_(fd)
+    {
+    }
+
+    /** Worker side: publish a finished response (no wakeup yet). */
+    static void
+    complete(Pending *slot, std::vector<std::uint8_t> response)
+    {
+        slot->response = std::move(response);
+        slot->done.store(true, std::memory_order_release);
+    }
+
+    /**
+     * Worker side: wake the flusher after a run of complete() calls —
+     * one lock+notify per connection per batch, not per response.
+     * The empty critical section serializes against the flusher's
+     * predicate-check-then-sleep window.
+     */
+    void
+    wake()
+    {
+        { std::lock_guard<std::mutex> lock(mutex_); }
+        cv_.notify_one();
+    }
+
+    void
+    run()
+    {
+        std::vector<std::uint8_t> buffer;
+        std::size_t offset = 0;
+        bool close_requested = false;
+        while (!close_requested) {
+            if (!pending_.empty()) {
+                waitAndFlushHead();
+                continue;
+            }
+            struct pollfd fds[2];
+            fds[0] = {fd_, POLLIN, 0};
+            fds[1] = {daemon_.stopPipe[0], POLLIN, 0};
+            if (::poll(fds, 2, -1) < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                break;
+            }
+            if (daemon_.stopping.load(std::memory_order_acquire)) {
+                // Drain whatever the client already sent, answer it,
+                // then leave: an accepted request is always served.
+                readAvailable(buffer);
+                processBuffer(buffer, offset, close_requested);
+                break;
+            }
+            if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+                continue;
+            }
+            if (!readAvailable(buffer)) {
+                if (buffer.size() > offset) {
+                    // Mid-request disconnect: a partial frame was
+                    // abandoned. Per-connection only; just count it.
+                    daemon_.protocolErrors.fetch_add(
+                        1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+                    daemon_.mProtocolErrors->add();
+#endif
+                }
+                break;
+            }
+            processBuffer(buffer, offset, close_requested);
+        }
+        drainPending();
+        closeFd(fd_);
+        finished.store(true, std::memory_order_release);
+    }
+
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    /**
+     * Submissions a worker may still touch (slot fill + wake()).
+     * Reaping requires finished && workerRefs == 0, otherwise a
+     * worker could call wake() on a destroyed connection.
+     */
+    std::atomic<std::uint64_t> workerRefs{0};
+
+  private:
+    /**
+     * Non-blocking reads until EAGAIN; false once the peer has
+     * disconnected (EOF or hard error).
+     */
+    bool
+    readAvailable(std::vector<std::uint8_t> &buffer)
+    {
+        for (;;) {
+            std::uint8_t chunk[kReadChunk];
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                buffer.insert(buffer.end(), chunk, chunk + n);
+                if (static_cast<std::size_t>(n) < sizeof chunk) {
+                    return true;
+                }
+                continue;
+            }
+            if (n == 0) {
+                peerClosed_ = true;
+                return false;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                return true;
+            }
+            if (errno == EINTR) {
+                continue;
+            }
+            peerClosed_ = true;
+            return false;
+        }
+    }
+
+    /** Decodes every complete frame in the buffer and dispatches it. */
+    void
+    processBuffer(std::vector<std::uint8_t> &buffer,
+                  std::size_t &offset, bool &close_requested)
+    {
+        while (!close_requested) {
+            RequestFrame frame;
+            std::string error;
+            std::size_t consumed = 0;
+            const DecodeStatus status =
+                decodeRequest(buffer.data() + offset,
+                              buffer.size() - offset, consumed, frame,
+                              error);
+            if (status == DecodeStatus::NeedMore) {
+                break;
+            }
+            if (status == DecodeStatus::BadFrame) {
+                daemon_.protocolErrors.fetch_add(
+                    1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+                daemon_.mProtocolErrors->add();
+#endif
+                // Framing is lost: answer once, then close. Guess the
+                // response dialect from the first byte.
+                const bool json =
+                    buffer.size() > offset && buffer[offset] == '{';
+                completeInline(ResponseStatus::BadRequest, error,
+                               json);
+                close_requested = true;
+                break;
+            }
+            offset += consumed;
+            dispatch(frame);
+        }
+        if (offset > 0) {
+            buffer.erase(buffer.begin(),
+                         buffer.begin() +
+                             static_cast<std::ptrdiff_t>(offset));
+            offset = 0;
+        }
+        // Opportunistic flush of anything already answered inline.
+        flushDonePrefix();
+    }
+
+    /** Routes one well-framed request. */
+    void
+    dispatch(const RequestFrame &frame)
+    {
+        if (!frame.fieldError.empty()) {
+            daemon_.validationErrors.fetch_add(
+                1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+            daemon_.mValidationErrors->add();
+#endif
+            completeInline(ResponseStatus::BadRequest,
+                           frame.fieldError, frame.json);
+            return;
+        }
+        switch (frame.kind) {
+          case RequestKind::Stats:
+            completeInline(ResponseStatus::Ok,
+                           daemon_.buildStatsJson(), frame.json);
+            return;
+          case RequestKind::Ping:
+            completeInline(ResponseStatus::Ok,
+                           frame.json ? "{\"ok\":true,\"pong\":true}"
+                                      : "pong",
+                           frame.json);
+            return;
+          case RequestKind::Query:
+            break;
+        }
+        // Field validation happens here, on the connection thread, so
+        // a malformed query costs the workers nothing.
+        std::string error = daemon_.kernel.validate(frame.query);
+        if (!error.empty()) {
+            daemon_.validationErrors.fetch_add(
+                1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+            daemon_.mValidationErrors->add();
+#endif
+            QueryResult result;
+            result.domain = frame.query.domain;
+            result.error = std::move(error);
+            std::vector<std::uint8_t> response;
+            appendQueryResponse(response, result, frame.json);
+            pushDoneSlot(std::move(response));
+            return;
+        }
+        auto slot = std::make_unique<Pending>();
+        Submission sub;
+        sub.query = frame.query;
+        sub.conn = this;
+        sub.slot = slot.get();
+        sub.json = frame.json;
+        pending_.push_back(std::move(slot));
+        workerRefs.fetch_add(1, std::memory_order_acq_rel);
+        daemon_.submit(std::move(sub));
+    }
+
+    /** Queues an already-encoded (or text) response, in order. */
+    void
+    completeInline(ResponseStatus status, std::string_view text,
+                   bool json)
+    {
+        std::vector<std::uint8_t> response;
+        appendTextResponse(response, status, text, json);
+        pushDoneSlot(std::move(response));
+    }
+
+    void
+    pushDoneSlot(std::vector<std::uint8_t> response)
+    {
+        auto slot = std::make_unique<Pending>();
+        slot->response = std::move(response);
+        slot->done.store(true, std::memory_order_release);
+        pending_.push_back(std::move(slot));
+    }
+
+    /** Sleeps until the head response is ready, then writes a burst. */
+    void
+    waitAndFlushHead()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return pending_.front()->done.load(
+                    std::memory_order_acquire);
+            });
+        }
+        flushDonePrefix();
+    }
+
+    /**
+     * Writes every contiguous completed response from the head of the
+     * queue in one syscall burst (the response-side batching: a
+     * worker batch completes together and leaves here together).
+     */
+    void
+    flushDonePrefix()
+    {
+        scratch_.clear();
+        while (!pending_.empty() &&
+               pending_.front()->done.load(std::memory_order_acquire)) {
+            std::vector<std::uint8_t> &r = pending_.front()->response;
+            scratch_.insert(scratch_.end(), r.begin(), r.end());
+            pending_.pop_front();
+        }
+        if (scratch_.empty() || writeFailed_ || peerClosed_) {
+            return;
+        }
+        std::size_t sent = 0;
+        while (sent < scratch_.size()) {
+            const ssize_t n =
+                ::send(fd_, scratch_.data() + sent,
+                       scratch_.size() - sent, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    // Blocking would stall decoding; poll for space.
+                    struct pollfd pfd = {fd_, POLLOUT, 0};
+                    ::poll(&pfd, 1, 1000);
+                    continue;
+                }
+                writeFailed_ = true; // Peer gone; drop the rest.
+                return;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Waits out every in-flight submission before the thread exits. */
+    void
+    drainPending()
+    {
+        while (!pending_.empty()) {
+            waitAndFlushHead();
+        }
+    }
+
+    ServiceDaemon::Impl &daemon_;
+    int fd_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::unique_ptr<Pending>> pending_;
+    std::vector<std::uint8_t> scratch_;
+    bool writeFailed_ = false;
+    bool peerClosed_ = false;
+};
+
+} // namespace
+
+void
+ServiceDaemon::Impl::submit(Submission sub)
+{
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    while (!queue.tryPush(sub)) {
+        std::this_thread::yield(); // Backpressure: workers are behind.
+    }
+    // seq_cst on both sides: the worker publishes sleepers before
+    // reading queued, we publish queued before reading sleepers —
+    // anything weaker lets both sides read stale zeros (store-buffer
+    // reordering) and lose the wakeup.
+    queued.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers.load(std::memory_order_seq_cst) > 0) {
+        // The empty critical section pairs with the worker's
+        // predicate check, closing the check-then-sleep window.
+        { std::lock_guard<std::mutex> lock(submitMutex); }
+        submitCv.notify_one();
+    }
+}
+
+void
+ServiceDaemon::Impl::workerLoop()
+{
+    std::vector<Submission> batch;
+    std::vector<Query> batchQueries;
+    std::vector<QueryResult> batchResults;
+    std::vector<Connection *> waking;
+    batch.reserve(config.batchMax);
+    for (;;) {
+        batch.clear();
+        Submission sub;
+        while (batch.size() < config.batchMax && queue.tryPop(sub)) {
+            batch.push_back(std::move(sub));
+        }
+        if (batch.empty()) {
+            std::unique_lock<std::mutex> lock(submitMutex);
+            sleepers.fetch_add(1, std::memory_order_seq_cst);
+            submitCv.wait(lock, [this] {
+                return queued.load(std::memory_order_seq_cst) > 0 ||
+                    workersStop.load(std::memory_order_acquire);
+            });
+            sleepers.fetch_sub(1, std::memory_order_seq_cst);
+            if (workersStop.load(std::memory_order_acquire) &&
+                queued.load(std::memory_order_acquire) == 0) {
+                return;
+            }
+            continue;
+        }
+        queued.fetch_sub(batch.size(), std::memory_order_release);
+
+        batchQueries.clear();
+        batchResults.clear();
+        batchQueries.reserve(batch.size());
+        batchResults.resize(batch.size());
+        for (const Submission &s : batch) {
+            batchQueries.push_back(s.query);
+        }
+        kernel.evaluateBatch(batchQueries.data(), batchQueries.size(),
+                             batchResults.data());
+
+        queries.fetch_add(batch.size(), std::memory_order_relaxed);
+        batches.fetch_add(1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+        mQueries->add(batch.size());
+        mBatches->add();
+        mBatchSize->observe(static_cast<double>(batch.size()));
+#endif
+        waking.clear();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            std::vector<std::uint8_t> response;
+            appendQueryResponse(response, batchResults[i],
+                                batch[i].json);
+            Connection::complete(batch[i].slot, std::move(response));
+            inflight.fetch_sub(1, std::memory_order_relaxed);
+            if (std::find(waking.begin(), waking.end(),
+                          batch[i].conn) == waking.end()) {
+                waking.push_back(batch[i].conn);
+            }
+        }
+        for (Connection *conn : waking) {
+            conn->wake();
+        }
+        // Release the connections only after the wakes: a connection
+        // with workerRefs > 0 is never reaped.
+        for (const Submission &s : batch) {
+            s.conn->workerRefs.fetch_sub(1,
+                                         std::memory_order_release);
+        }
+    }
+}
+
+void
+ServiceDaemon::Impl::acceptLoop()
+{
+    for (;;) {
+        struct pollfd fds[2];
+        fds[0] = {listenFd, POLLIN, 0};
+        fds[1] = {stopPipe[0], POLLIN, 0};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return;
+        }
+        if (stopping.load(std::memory_order_acquire)) {
+            return;
+        }
+        if ((fds[0].revents & POLLIN) == 0) {
+            continue;
+        }
+        const int cfd =
+            ::accept4(listenFd, nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (cfd < 0) {
+            continue;
+        }
+        reapFinished(false);
+        std::lock_guard<std::mutex> lock(connectionsMutex);
+        if (connections.size() >= config.maxConnections) {
+            refused.fetch_add(1, std::memory_order_relaxed);
+            ::close(cfd);
+            continue;
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+#if SWCC_OBS_ENABLED
+        mConnections->add();
+#endif
+        auto conn = std::make_unique<Connection>(*this, cfd);
+        Connection *raw = conn.get();
+        conn->thread = std::thread([raw] { raw->run(); });
+        connections.push_back(std::move(conn));
+    }
+}
+
+void
+ServiceDaemon::Impl::reapFinished(bool join_all)
+{
+    std::lock_guard<std::mutex> lock(connectionsMutex);
+    auto it = connections.begin();
+    while (it != connections.end()) {
+        Connection &conn = **it;
+        const bool drained = conn.finished.load(
+                                 std::memory_order_acquire) &&
+            conn.workerRefs.load(std::memory_order_acquire) == 0;
+        if (drained || join_all) {
+            if (conn.thread.joinable()) {
+                conn.thread.join();
+            }
+            // Joined means all its responses completed; wait out a
+            // worker still inside its final wake() call.
+            while (conn.workerRefs.load(std::memory_order_acquire) >
+                   0) {
+                std::this_thread::yield();
+            }
+            it = connections.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::string
+ServiceDaemon::Impl::buildStatsJson() const
+{
+    const SolverCacheStats cache = solverCacheStats();
+    std::string out = "{\"ok\":true,\"daemon\":{";
+    const auto field = [&out](std::string_view name,
+                              std::uint64_t value, bool comma = true) {
+        out += '"';
+        out += name;
+        out += "\":";
+        out += std::to_string(value);
+        if (comma) {
+            out += ',';
+        }
+    };
+    field("connections_accepted",
+          accepted.load(std::memory_order_relaxed));
+    field("connections_refused",
+          refused.load(std::memory_order_relaxed));
+    field("queries", queries.load(std::memory_order_relaxed));
+    field("batches", batches.load(std::memory_order_relaxed));
+    field("validation_errors",
+          validationErrors.load(std::memory_order_relaxed));
+    field("protocol_errors",
+          protocolErrors.load(std::memory_order_relaxed));
+    field("inflight",
+          static_cast<std::uint64_t>(std::max<std::int64_t>(
+              0, inflight.load(std::memory_order_relaxed))));
+    field("workers", config.workers);
+    field("batch_max", config.batchMax, false);
+    out += "},\"solver_cache\":{";
+    field("hits", cache.hits);
+    field("misses", cache.misses);
+    field("evictions", cache.evictions, false);
+    out += "}}";
+    return out;
+}
+
+ServiceDaemon::ServiceDaemon(DaemonConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config)))
+{
+}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    stop();
+}
+
+void
+ServiceDaemon::start()
+{
+    Impl &impl = *impl_;
+    if (impl.started.load()) {
+        throw std::logic_error("daemon already started");
+    }
+    const std::string &path = impl.config.socketPath;
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof addr.sun_path) {
+        throw std::runtime_error(
+            "socket path empty or too long for a unix socket: " +
+            path);
+    }
+    if (::pipe(impl.stopPipe) != 0) {
+        throw std::runtime_error("cannot create stop pipe");
+    }
+    impl.listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (impl.listenFd < 0) {
+        throw std::runtime_error("cannot create unix socket");
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str()); // Replace a stale socket file.
+    if (::bind(impl.listenFd,
+               reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(impl.listenFd, 256) != 0) {
+        const int saved = errno;
+        closeFd(impl.listenFd);
+        throw std::runtime_error("cannot bind " + path + ": " +
+                                 std::strerror(saved));
+    }
+#if SWCC_OBS_ENABLED
+    obs::MetricsRegistry &registry = obs::metrics();
+    impl.mQueries = &registry.counter("service.queries");
+    impl.mBatches = &registry.counter("service.batches");
+    impl.mValidationErrors =
+        &registry.counter("service.validation_errors");
+    impl.mProtocolErrors = &registry.counter("service.protocol_errors");
+    impl.mConnections = &registry.counter("service.connections");
+    impl.mBatchSize = &registry.histogram(
+        "service.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+    registry.gauge("service.workers")
+        .set(static_cast<double>(impl.config.workers));
+    registry.gauge("service.batch_limit")
+        .set(static_cast<double>(impl.config.batchMax));
+#endif
+    impl.workers.reserve(impl.config.workers);
+    for (unsigned i = 0; i < impl.config.workers; ++i) {
+        impl.workers.emplace_back([this] { impl_->workerLoop(); });
+    }
+    impl.acceptor = std::thread([this] { impl_->acceptLoop(); });
+    impl.started.store(true);
+    SWCC_LOG_INFO("swccd listening on " + path + " (" +
+                  std::to_string(impl.config.workers) + " workers, " +
+                  "batch<=" + std::to_string(impl.config.batchMax) +
+                  ")");
+}
+
+void
+ServiceDaemon::requestStop()
+{
+    Impl &impl = *impl_;
+    impl.stopping.store(true, std::memory_order_release);
+    if (impl.stopPipe[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(impl.stopPipe[1], &byte, 1);
+    }
+}
+
+void
+ServiceDaemon::stop()
+{
+    Impl &impl = *impl_;
+    if (!impl.started.load() || impl.stopped.load()) {
+        return;
+    }
+    requestStop();
+    if (impl.acceptor.joinable()) {
+        impl.acceptor.join();
+    }
+    // Connections flush their accepted work (workers still running),
+    // then the workers drain and exit.
+    impl.reapFinished(true);
+    impl.workersStop.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(impl.submitMutex);
+    }
+    impl.submitCv.notify_all();
+    for (std::thread &worker : impl.workers) {
+        worker.join();
+    }
+    impl.workers.clear();
+    closeFd(impl.listenFd);
+    closeFd(impl.stopPipe[0]);
+    closeFd(impl.stopPipe[1]);
+    ::unlink(impl.config.socketPath.c_str());
+    impl.stopped.store(true);
+}
+
+bool
+ServiceDaemon::running() const
+{
+    return impl_->started.load() && !impl_->stopped.load();
+}
+
+const DaemonConfig &
+ServiceDaemon::config() const
+{
+    return impl_->config;
+}
+
+DaemonStats
+ServiceDaemon::stats() const
+{
+    const Impl &impl = *impl_;
+    DaemonStats stats;
+    stats.connectionsAccepted =
+        impl.accepted.load(std::memory_order_relaxed);
+    stats.connectionsRefused =
+        impl.refused.load(std::memory_order_relaxed);
+    stats.queries = impl.queries.load(std::memory_order_relaxed);
+    stats.batches = impl.batches.load(std::memory_order_relaxed);
+    stats.validationErrors =
+        impl.validationErrors.load(std::memory_order_relaxed);
+    stats.protocolErrors =
+        impl.protocolErrors.load(std::memory_order_relaxed);
+    return stats;
+}
+
+std::string
+ServiceDaemon::statsJson() const
+{
+    return impl_->buildStatsJson();
+}
+
+} // namespace swcc::service

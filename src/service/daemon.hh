@@ -1,0 +1,125 @@
+/**
+ * @file
+ * swccd: the model-as-a-service daemon.
+ *
+ * Architecture (see DESIGN §10):
+ *
+ *   acceptor thread ──► connection threads (one per client)
+ *        │                   │  decode + validate frames
+ *        │                   ▼
+ *        │            lock-free MPMC submission queue
+ *        │                   │
+ *        │                   ▼
+ *        │            batching workers (config.workers threads):
+ *        │              pop up to config.batchMax submissions,
+ *        │              ServiceKernel::evaluateBatch() coalesces
+ *        │              same-workload queries into one batched
+ *        │              curve solve, complete each slot
+ *        │                   │
+ *        └───────────────────▼
+ *              connection thread flushes completed responses
+ *              in request order with one writev() per burst
+ *
+ * Responses to one connection are delivered strictly in request
+ * order. A batch forms naturally from whatever is in flight when a
+ * worker polls the queue — there is no artificial batching delay, so
+ * an idle daemon answers a lone query at point-solve latency while a
+ * loaded daemon amortizes whole batches into single kernel calls and
+ * single writev() bursts.
+ *
+ * Graceful drain: requestStop() (async-signal-safe) stops the
+ * acceptor, lets every connection finish decoding what has already
+ * arrived, waits for the workers to answer all of it, flushes, and
+ * only then tears threads down — an accepted request is always
+ * answered. Malformed input never wedges a worker: frames are fully
+ * validated on the connection thread and answered there with an
+ * error response (recoverable field errors keep the connection;
+ * framing violations close it after the error is sent).
+ */
+
+#ifndef SWCC_SERVICE_DAEMON_HH
+#define SWCC_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/service_kernel.hh"
+
+namespace swcc::service
+{
+
+struct DaemonConfig
+{
+    /** Filesystem path of the unix-domain listening socket. */
+    std::string socketPath;
+    /** Batching worker threads. */
+    unsigned workers = 4;
+    /** Max submissions coalesced into one kernel batch (>= 1). */
+    unsigned batchMax = 64;
+    /** Admission limits forwarded to the ServiceKernel. */
+    ServiceKernel::Limits limits;
+    /** Concurrent connections admitted; extras are refused. */
+    unsigned maxConnections = 1024;
+};
+
+/** Monotonic daemon-wide totals (also mirrored as service.* metrics). */
+struct DaemonStats
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsRefused = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t validationErrors = 0;
+    std::uint64_t protocolErrors = 0;
+};
+
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(DaemonConfig config);
+
+    /** Joins all threads; equivalent to stop() if still running. */
+    ~ServiceDaemon();
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    /**
+     * Binds the socket (replacing a stale file at the path), spawns
+     * the acceptor and worker threads, and returns once the daemon
+     * accepts connections.
+     *
+     * @throws std::runtime_error if the socket cannot be bound.
+     */
+    void start();
+
+    /**
+     * Triggers a graceful drain without blocking. Safe to call from
+     * a signal handler (one write() on an internal pipe).
+     */
+    void requestStop();
+
+    /** Full graceful shutdown: requestStop(), drain, join, unlink. */
+    void stop();
+
+    bool running() const;
+
+    const DaemonConfig &config() const;
+
+    DaemonStats stats() const;
+
+    /** The stats document served by the protocol's Stats request. */
+    std::string statsJson() const;
+
+    /** @internal Implementation state (public for daemon.cc only). */
+    struct Impl;
+
+  private:
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace swcc::service
+
+#endif // SWCC_SERVICE_DAEMON_HH

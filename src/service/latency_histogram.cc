@@ -1,0 +1,106 @@
+#include "service/latency_histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace swcc::service
+{
+
+namespace
+{
+
+/** log2 of the linear sub-bucket count per group. */
+constexpr std::uint64_t kSubBits = 6;
+constexpr std::uint64_t kSub = 1ull << kSubBits; // 64
+constexpr std::uint64_t kHalf = kSub / 2;        // 32
+
+/** Groups above the linear range: one per dropped low bit. */
+constexpr std::size_t kGroups = 64 - kSubBits;
+constexpr std::size_t kBuckets =
+    static_cast<std::size_t>(kSub + kGroups * kHalf);
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSub) {
+        return static_cast<std::size_t>(value);
+    }
+    // Drop low bits until the value fits in kSubBits bits; the kept
+    // prefix lands in [kHalf, kSub).
+    const std::uint64_t shift =
+        static_cast<std::uint64_t>(std::bit_width(value)) - kSubBits;
+    const std::uint64_t sub = value >> shift;
+    return static_cast<std::size_t>(kSub + (shift - 1) * kHalf +
+                                    (sub - kHalf));
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperBound(std::size_t index)
+{
+    if (index < kSub) {
+        return index;
+    }
+    const std::uint64_t offset = index - kSub;
+    const std::uint64_t shift = offset / kHalf + 1;
+    const std::uint64_t sub = kHalf + offset % kHalf;
+    return ((sub + 1) << shift) - 1;
+}
+
+void
+LatencyHistogram::record(std::uint64_t nanos)
+{
+    ++buckets_[bucketIndex(nanos)];
+    ++count_;
+    sum_ += nanos;
+    max_ = std::max(max_, nanos);
+    min_ = count_ == 1 ? nanos : std::min(min_, nanos);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    if (other.count_ > 0) {
+        min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ == 0
+        ? 0.0
+        : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+LatencyHistogram::valueAtQuantile(double q) const
+{
+    if (count_ == 0) {
+        return 0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            return bucketUpperBound(i);
+        }
+    }
+    return max_;
+}
+
+} // namespace swcc::service

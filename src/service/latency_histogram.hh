@@ -1,0 +1,75 @@
+/**
+ * @file
+ * HdrHistogram-style log-linear latency histogram.
+ *
+ * Values (nanoseconds) are bucketed by a log2 group with 64 linear
+ * sub-buckets per group, bounding the relative quantization error at
+ * ~1.6% while covering the full 64-bit range in a fixed 1.9k-bucket
+ * array. Recording is two shifts and an increment — cheap enough to
+ * call per request on the load-generator's hot path.
+ *
+ * A histogram instance is single-writer (each loadgen thread owns
+ * one); merge() combines per-thread histograms after a run for the
+ * aggregate quantiles.
+ */
+
+#ifndef SWCC_SERVICE_LATENCY_HISTOGRAM_HH
+#define SWCC_SERVICE_LATENCY_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swcc::service
+{
+
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    /** Records one latency observation in nanoseconds. */
+    void record(std::uint64_t nanos);
+
+    /** Adds every observation of @p other into this histogram. */
+    void merge(const LatencyHistogram &other);
+
+    /** Total observations recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all recorded values (nanoseconds). */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Mean recorded value, 0 when empty. */
+    double mean() const;
+
+    /** Largest / smallest recorded value (bucket-exact), 0 if empty. */
+    std::uint64_t maxValue() const { return max_; }
+    std::uint64_t minValue() const { return count_ == 0 ? 0 : min_; }
+
+    /**
+     * Value at quantile @p q in [0, 1]: the upper bound of the bucket
+     * containing the ceil(q * count)-th observation (nanoseconds).
+     * Returns 0 when empty.
+     */
+    std::uint64_t valueAtQuantile(double q) const;
+
+    /** Upper bound (inclusive) of bucket @p index, in nanoseconds. */
+    static std::uint64_t bucketUpperBound(std::size_t index);
+
+    /** Raw bucket counts (for CSV export of the full distribution). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = 0;
+};
+
+} // namespace swcc::service
+
+#endif // SWCC_SERVICE_LATENCY_HISTOGRAM_HH

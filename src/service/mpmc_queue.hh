@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Bounded lock-free MPMC ring (Vyukov-style sequence counters).
+ *
+ * The daemon's submission path: connection threads (producers) push
+ * decoded queries, batching workers (consumers) pop them in groups.
+ * Same discipline as the journal's CommitQueue — each slot carries a
+ * sequence counter that tells producers and consumers whose turn the
+ * slot is, so an enqueue or dequeue is one CAS on the head/tail plus
+ * two relaxed/acquire-release accesses on the slot, with no mutex on
+ * the hot path. Capacity must be a power of two.
+ */
+
+#ifndef SWCC_SERVICE_MPMC_QUEUE_HH
+#define SWCC_SERVICE_MPMC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace swcc::service
+{
+
+template <typename T>
+class MpmcQueue
+{
+  public:
+    explicit MpmcQueue(std::size_t capacity)
+        : slots_(capacity), mask_(capacity - 1)
+    {
+        static_assert(std::is_nothrow_move_assignable_v<T> ||
+                          std::is_copy_assignable_v<T>,
+                      "slot assignment must not throw mid-transfer");
+        for (std::size_t i = 0; i < capacity; ++i) {
+            slots_[i].sequence.store(i, std::memory_order_relaxed);
+        }
+    }
+
+    /** Non-blocking enqueue; false when the ring is full. */
+    bool
+    tryPush(T value)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots_[pos & mask_];
+            const std::size_t seq =
+                slot.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    slot.value = std::move(value);
+                    slot.sequence.store(pos + 1,
+                                        std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // Full: slot not yet consumed.
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Non-blocking dequeue; false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots_[pos & mask_];
+            const std::size_t seq =
+                slot.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos + 1);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    out = std::move(slot.value);
+                    slot.sequence.store(pos + mask_ + 1,
+                                        std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // Empty: slot not yet produced.
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+} // namespace swcc::service
+
+#endif // SWCC_SERVICE_MPMC_QUEUE_HH

@@ -133,6 +133,21 @@ TEST(CampaignAtomicFileTest, WritesContentAndLeavesNoTempFiles)
     }
 }
 
+TEST(CampaignAtomicFileTest, CreatesMissingParentDirectories)
+{
+    const std::string root = freshPath("atomic_tree");
+    fs::remove_all(root);
+    const std::string path = root + "/a/b/c/nested.txt";
+    campaign::atomicWriteFile(
+        path, [](std::ostream &os) { os << "deep\n"; });
+    EXPECT_EQ(slurp(path), "deep\n");
+    // A second write through the now-existing tree also works.
+    campaign::atomicWriteFile(
+        path, [](std::ostream &os) { os << "deeper\n"; });
+    EXPECT_EQ(slurp(path), "deeper\n");
+    fs::remove_all(root);
+}
+
 TEST(CampaignAtomicFileTest, FailedWriteLeavesDestinationUntouched)
 {
     const std::string path = freshPath("atomic_fail.txt");

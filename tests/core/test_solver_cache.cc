@@ -205,6 +205,27 @@ TEST_F(ParallelSolverCacheTest, DisabledCacheComputesEveryTime)
     setSolverCacheEnabled(true);
 }
 
+TEST_F(ParallelSolverCacheTest, ShardOverflowCountsEvictions)
+{
+    // Drive one private memo shard past its bound: the overflow clear
+    // must add the dropped entry count to the process-wide eviction
+    // total. clear() calls, by contrast, are not evictions.
+    SolverMemo<int> memo;
+    const SolverCacheStats before = solverCacheStats();
+    // Keys land on shards by hi % 16; pushing 16 * (4096 + 1)
+    // distinct keys guarantees at least one shard overflows.
+    for (std::uint64_t i = 0; i < 16 * 4097; ++i) {
+        memo.insert(SolverKeyBuilder("evict-test").add(i).key(),
+                    static_cast<int>(i));
+    }
+    const SolverCacheStats after = solverCacheStats();
+    EXPECT_GT(after.evictions, before.evictions);
+    EXPECT_GE(after.evictions - before.evictions, 4096u);
+
+    memo.clear();
+    EXPECT_EQ(solverCacheStats().evictions, after.evictions);
+}
+
 TEST_F(ParallelSolverCacheTest, ArmedFaultInjectionBypassesTheMemo)
 {
     const WorkloadParams params = middleParams();

@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Tests for the ServiceKernel facade and the swccd wire protocol:
+ * validation, batch coalescing bitwise identity (including the
+ * memo-canonicalized curve length), binary/JSON frame round trips,
+ * and the robustness contract (truncated frames, oversized length
+ * prefixes, NaN/Inf fields, garbage input).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/scheme_evaluator.hh"
+#include "core/solver_cache.hh"
+#include "core/types.hh"
+#include "core/workload.hh"
+#include "service/protocol.hh"
+#include "service/service_kernel.hh"
+
+namespace swcc::service
+{
+namespace
+{
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void
+expectIdentical(const BusSolution &a, const BusSolution &b)
+{
+    EXPECT_EQ(a.processors, b.processors);
+    EXPECT_TRUE(sameBits(a.cpu, b.cpu));
+    EXPECT_TRUE(sameBits(a.bus, b.bus));
+    EXPECT_TRUE(sameBits(a.waiting, b.waiting));
+    EXPECT_TRUE(sameBits(a.busUtilization, b.busUtilization));
+    EXPECT_TRUE(sameBits(a.busQueueLength, b.busQueueLength));
+    EXPECT_TRUE(
+        sameBits(a.processorUtilization, b.processorUtilization));
+    EXPECT_TRUE(sameBits(a.processingPower, b.processingPower));
+}
+
+void
+expectIdentical(const NetworkSolution &a, const NetworkSolution &b)
+{
+    EXPECT_EQ(a.stages, b.stages);
+    EXPECT_EQ(a.processors, b.processors);
+    EXPECT_TRUE(sameBits(a.cpu, b.cpu));
+    EXPECT_TRUE(sameBits(a.network, b.network));
+    EXPECT_TRUE(sameBits(a.transactionRate, b.transactionRate));
+    EXPECT_TRUE(sameBits(a.unitRequestRate, b.unitRequestRate));
+    EXPECT_TRUE(sameBits(a.computeFraction, b.computeFraction));
+    EXPECT_TRUE(sameBits(a.inputLoad, b.inputLoad));
+    EXPECT_TRUE(sameBits(a.acceptance, b.acceptance));
+    EXPECT_TRUE(
+        sameBits(a.cyclesPerInstruction, b.cyclesPerInstruction));
+    EXPECT_TRUE(sameBits(a.waiting, b.waiting));
+    EXPECT_TRUE(
+        sameBits(a.processorUtilization, b.processorUtilization));
+    EXPECT_TRUE(sameBits(a.processingPower, b.processingPower));
+}
+
+void
+expectIdentical(const QueryResult &a, const QueryResult &b)
+{
+    ASSERT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.domain, b.domain);
+    if (!a.ok) {
+        return;
+    }
+    if (a.domain == QueryDomain::Bus) {
+        expectIdentical(a.bus, b.bus);
+    } else {
+        expectIdentical(a.network, b.network);
+    }
+}
+
+Query
+busQuery(Scheme scheme, unsigned cpus,
+         const WorkloadParams &params = middleParams())
+{
+    Query query;
+    query.domain = QueryDomain::Bus;
+    query.scheme = scheme;
+    query.size = cpus;
+    query.params = params;
+    return query;
+}
+
+Query
+networkQuery(Scheme scheme, unsigned stages,
+             const WorkloadParams &params = middleParams())
+{
+    Query query;
+    query.domain = QueryDomain::Network;
+    query.scheme = scheme;
+    query.size = stages;
+    query.params = params;
+    return query;
+}
+
+class ServiceKernelTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setSolverCacheEnabled(true);
+        clearSolverCache();
+    }
+
+    void
+    TearDown() override
+    {
+        clearSolverCache();
+        setSolverCacheEnabled(true);
+    }
+
+    ServiceKernel kernel_;
+};
+
+TEST_F(ServiceKernelTest, AcceptsAdmissibleQueries)
+{
+    EXPECT_TRUE(kernel_.validate(busQuery(Scheme::Base, 1)).empty());
+    EXPECT_TRUE(
+        kernel_.validate(busQuery(Scheme::Dragon, 1024)).empty());
+    EXPECT_TRUE(
+        kernel_.validate(networkQuery(Scheme::SoftwareFlush, 10))
+            .empty());
+    EXPECT_TRUE(
+        kernel_.validate(networkQuery(Scheme::NoCache, 24)).empty());
+}
+
+TEST_F(ServiceKernelTest, RejectsOutOfRangeSizes)
+{
+    EXPECT_FALSE(kernel_.validate(busQuery(Scheme::Base, 0)).empty());
+    EXPECT_FALSE(
+        kernel_.validate(busQuery(Scheme::Base, 1025)).empty());
+    EXPECT_FALSE(
+        kernel_.validate(networkQuery(Scheme::SoftwareFlush, 25))
+            .empty());
+
+    const ServiceKernel small(ServiceKernel::Limits{8, 4});
+    EXPECT_TRUE(small.validate(busQuery(Scheme::Base, 8)).empty());
+    EXPECT_FALSE(small.validate(busQuery(Scheme::Base, 9)).empty());
+}
+
+TEST_F(ServiceKernelTest, RejectsSnoopySchemesOnTheNetwork)
+{
+    // Dragon needs a broadcast bus (paper §6); Base and the software
+    // schemes work with any processor-memory interconnect.
+    EXPECT_FALSE(
+        kernel_.validate(networkQuery(Scheme::Dragon, 6)).empty());
+    EXPECT_TRUE(
+        kernel_.validate(networkQuery(Scheme::Base, 6)).empty());
+    EXPECT_TRUE(
+        kernel_.validate(networkQuery(Scheme::SoftwareFlush, 6))
+            .empty());
+}
+
+TEST_F(ServiceKernelTest, RejectsNonFiniteAndOutOfDomainParams)
+{
+    Query query = busQuery(Scheme::Base, 4);
+    query.params.shd = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_NE(kernel_.validate(query).find("shd"), std::string::npos);
+
+    query = busQuery(Scheme::Base, 4);
+    query.params.wr = std::numeric_limits<double>::infinity();
+    EXPECT_NE(kernel_.validate(query).find("wr"), std::string::npos);
+
+    query = busQuery(Scheme::Base, 4);
+    query.params.md = -0.25;
+    EXPECT_FALSE(kernel_.validate(query).empty());
+}
+
+TEST_F(ServiceKernelTest, EvaluateMatchesTheDirectSolverBitwise)
+{
+    for (Scheme scheme : kAllSchemes) {
+        const Query query = busQuery(scheme, 12);
+        const QueryResult got = kernel_.evaluate(query);
+        ASSERT_TRUE(got.ok) << got.error;
+        expectIdentical(got.bus,
+                        evaluateBus(scheme, query.params, 12));
+    }
+    const Query query = networkQuery(Scheme::SoftwareFlush, 8);
+    const QueryResult got = kernel_.evaluate(query);
+    ASSERT_TRUE(got.ok) << got.error;
+    expectIdentical(
+        got.network,
+        evaluateNetwork(Scheme::SoftwareFlush, query.params, 8));
+}
+
+TEST_F(ServiceKernelTest, EvaluateReportsInvalidQueriesWithoutThrowing)
+{
+    const QueryResult got =
+        kernel_.evaluate(busQuery(Scheme::Base, 0));
+    EXPECT_FALSE(got.ok);
+    EXPECT_FALSE(got.error.empty());
+}
+
+TEST_F(ServiceKernelTest, BatchIsBitwiseIdenticalToPointEvaluation)
+{
+    // A mixed batch: several coalescible groups (same workload,
+    // different sizes), duplicates within a group, two domains, and
+    // distinct workloads that must not be merged.
+    std::vector<Query> queries;
+    for (unsigned n : {3u, 9u, 17u, 9u, 64u}) {
+        queries.push_back(busQuery(Scheme::Dragon, n));
+    }
+    for (unsigned n : {2u, 11u, 30u}) {
+        queries.push_back(
+            busQuery(Scheme::Base, n, paramsAtLevel(Level::High)));
+    }
+    for (unsigned stages : {2u, 5u, 5u, 9u}) {
+        queries.push_back(networkQuery(Scheme::SoftwareFlush, stages));
+    }
+    queries.push_back(busQuery(Scheme::NoCache, 7));
+
+    std::vector<QueryResult> batched(queries.size());
+    kernel_.evaluateBatch(queries.data(), queries.size(),
+                          batched.data());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        SCOPED_TRACE("query " + std::to_string(i));
+        expectIdentical(batched[i], kernel_.evaluate(queries[i]));
+    }
+}
+
+TEST_F(ServiceKernelTest,
+       CanonicalizedCurveLengthStaysBitwiseIdentical)
+{
+    // With the memo on, a multi-size group solves a curve of length
+    // bit_ceil(max) rather than max. The curve prefix contract makes
+    // that invisible; compare against memo-DISABLED point solves so
+    // nothing is answered from a cache.
+    std::vector<Query> queries;
+    for (unsigned n : {5u, 23u, 41u}) { // bit_ceil(41) = 64
+        queries.push_back(busQuery(Scheme::SoftwareFlush, n));
+    }
+    std::vector<QueryResult> batched(queries.size());
+    kernel_.evaluateBatch(queries.data(), queries.size(),
+                          batched.data());
+
+    setSolverCacheEnabled(false);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        SCOPED_TRACE("query " + std::to_string(i));
+        expectIdentical(batched[i], kernel_.evaluate(queries[i]));
+    }
+    setSolverCacheEnabled(true);
+}
+
+TEST_F(ServiceKernelTest, BatchRejectsInvalidMembersIndividually)
+{
+    std::vector<Query> queries = {
+        busQuery(Scheme::Base, 4),
+        busQuery(Scheme::Base, 0),    // invalid: zero size
+        networkQuery(Scheme::Dragon, 4), // invalid: snoopy on net
+        busQuery(Scheme::Base, 16),
+    };
+    queries.emplace_back(busQuery(Scheme::Base, 8));
+    queries.back().params.apl =
+        std::numeric_limits<double>::quiet_NaN();
+
+    std::vector<QueryResult> results(queries.size());
+    kernel_.evaluateBatch(queries.data(), queries.size(),
+                          results.data());
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_TRUE(results[3].ok);
+    EXPECT_FALSE(results[4].ok);
+    expectIdentical(results[0].bus,
+                    evaluateBus(Scheme::Base, queries[0].params, 4));
+    expectIdentical(results[3].bus,
+                    evaluateBus(Scheme::Base, queries[3].params, 16));
+}
+
+class ServiceProtocolTest : public ::testing::Test
+{
+  protected:
+    /** Decodes one request, asserting a complete frame came out. */
+    RequestFrame
+    decodeOne(const std::vector<std::uint8_t> &bytes)
+    {
+        RequestFrame frame;
+        std::string error;
+        std::size_t consumed = 0;
+        const DecodeStatus status = decodeRequest(
+            bytes.data(), bytes.size(), consumed, frame, error);
+        EXPECT_EQ(status, DecodeStatus::Frame) << error;
+        EXPECT_EQ(consumed, bytes.size());
+        return frame;
+    }
+
+    std::vector<std::uint8_t>
+    toBytes(std::string_view text)
+    {
+        return std::vector<std::uint8_t>(text.begin(), text.end());
+    }
+};
+
+TEST_F(ServiceProtocolTest, BinaryQueryRoundTripsBitwise)
+{
+    Query query = busQuery(Scheme::Dragon, 37,
+                           paramsAtLevel(Level::High));
+    query.params.apl = 3.7000000000000002; // not representable exactly
+    std::vector<std::uint8_t> bytes;
+    appendQueryRequest(bytes, query);
+
+    const RequestFrame frame = decodeOne(bytes);
+    EXPECT_TRUE(frame.fieldError.empty()) << frame.fieldError;
+    EXPECT_FALSE(frame.json);
+    EXPECT_EQ(frame.kind, RequestKind::Query);
+    EXPECT_EQ(frame.query.domain, query.domain);
+    EXPECT_EQ(frame.query.scheme, query.scheme);
+    EXPECT_EQ(frame.query.size, query.size);
+    EXPECT_TRUE(sameBits(frame.query.params.apl, query.params.apl));
+    EXPECT_TRUE(sameBits(frame.query.params.shd, query.params.shd));
+    EXPECT_TRUE(sameBits(frame.query.params.nshd, query.params.nshd));
+}
+
+TEST_F(ServiceProtocolTest, JsonQueryRoundTripsBitwise)
+{
+    // formatDouble() emits shortest round-trip decimals, so parsing
+    // the JSON form must land on the exact same bits.
+    Query query = networkQuery(Scheme::SoftwareFlush, 9,
+                               paramsAtLevel(Level::Low));
+    query.params.msdat = 0.1; // classic non-dyadic decimal
+    const std::vector<std::uint8_t> bytes =
+        toBytes(queryToJson(query) + "\n");
+
+    const RequestFrame frame = decodeOne(bytes);
+    EXPECT_TRUE(frame.fieldError.empty()) << frame.fieldError;
+    EXPECT_TRUE(frame.json);
+    EXPECT_EQ(frame.query.domain, query.domain);
+    EXPECT_EQ(frame.query.scheme, query.scheme);
+    EXPECT_EQ(frame.query.size, query.size);
+    EXPECT_TRUE(
+        sameBits(frame.query.params.msdat, query.params.msdat));
+    EXPECT_TRUE(sameBits(frame.query.params.ls, query.params.ls));
+    EXPECT_TRUE(
+        sameBits(frame.query.params.oclean, query.params.oclean));
+}
+
+TEST_F(ServiceProtocolTest, BusResponseRoundTripsBitwise)
+{
+    QueryResult result;
+    result.ok = true;
+    result.domain = QueryDomain::Bus;
+    result.bus = evaluateBus(Scheme::Base, middleParams(), 13);
+    for (const bool json : {false, true}) {
+        SCOPED_TRACE(json ? "json" : "binary");
+        std::vector<std::uint8_t> bytes;
+        appendQueryResponse(bytes, result, json);
+        ResponseFrame frame;
+        std::string error;
+        std::size_t consumed = 0;
+        ASSERT_EQ(decodeResponse(bytes.data(), bytes.size(), consumed,
+                                 frame, error),
+                  DecodeStatus::Frame)
+            << error;
+        EXPECT_EQ(consumed, bytes.size());
+        ASSERT_TRUE(frame.isQueryResult);
+        EXPECT_EQ(frame.status, ResponseStatus::Ok);
+        expectIdentical(frame.bus, result.bus);
+    }
+}
+
+TEST_F(ServiceProtocolTest, NetworkResponseRoundTripsBitwise)
+{
+    QueryResult result;
+    result.ok = true;
+    result.domain = QueryDomain::Network;
+    result.network =
+        evaluateNetwork(Scheme::SoftwareFlush, middleParams(), 7);
+    for (const bool json : {false, true}) {
+        SCOPED_TRACE(json ? "json" : "binary");
+        std::vector<std::uint8_t> bytes;
+        appendQueryResponse(bytes, result, json);
+        ResponseFrame frame;
+        std::string error;
+        std::size_t consumed = 0;
+        ASSERT_EQ(decodeResponse(bytes.data(), bytes.size(), consumed,
+                                 frame, error),
+                  DecodeStatus::Frame)
+            << error;
+        ASSERT_TRUE(frame.isQueryResult);
+        expectIdentical(frame.network, result.network);
+    }
+}
+
+TEST_F(ServiceProtocolTest, ErrorResponseRoundTrips)
+{
+    QueryResult result;
+    result.error = "machine size must be at least 1";
+    for (const bool json : {false, true}) {
+        SCOPED_TRACE(json ? "json" : "binary");
+        std::vector<std::uint8_t> bytes;
+        appendQueryResponse(bytes, result, json);
+        ResponseFrame frame;
+        std::string error;
+        std::size_t consumed = 0;
+        ASSERT_EQ(decodeResponse(bytes.data(), bytes.size(), consumed,
+                                 frame, error),
+                  DecodeStatus::Frame)
+            << error;
+        EXPECT_FALSE(frame.isQueryResult);
+        EXPECT_EQ(frame.status, ResponseStatus::BadRequest);
+        EXPECT_EQ(frame.text, result.error);
+    }
+}
+
+TEST_F(ServiceProtocolTest, ControlRequestsRoundTrip)
+{
+    for (const RequestKind kind :
+         {RequestKind::Stats, RequestKind::Ping}) {
+        std::vector<std::uint8_t> bytes;
+        appendControlRequest(bytes, kind);
+        const RequestFrame frame = decodeOne(bytes);
+        EXPECT_EQ(frame.kind, kind);
+        EXPECT_TRUE(frame.fieldError.empty());
+    }
+}
+
+TEST_F(ServiceProtocolTest, TruncatedFramesAskForMoreBytes)
+{
+    std::vector<std::uint8_t> bytes;
+    appendQueryRequest(bytes, busQuery(Scheme::Base, 4));
+    // Every proper prefix must decode to NeedMore, never a frame and
+    // never an error (a slow sender is not a protocol violation).
+    for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+        RequestFrame frame;
+        std::string error;
+        std::size_t consumed = 0;
+        EXPECT_EQ(decodeRequest(bytes.data(), cut, consumed, frame,
+                                error),
+                  DecodeStatus::NeedMore)
+            << "prefix of " << cut << " bytes";
+    }
+}
+
+TEST_F(ServiceProtocolTest, OversizedLengthPrefixIsAFramingError)
+{
+    // Header claims a 2 GiB payload: must be rejected from the header
+    // alone, without waiting for (or allocating) the claimed bytes.
+    std::vector<std::uint8_t> bytes = {kRequestMagic,
+                                       kProtocolVersion,
+                                       0,
+                                       0,
+                                       0x00,
+                                       0x00,
+                                       0x00,
+                                       0x80};
+    RequestFrame frame;
+    std::string error;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeRequest(bytes.data(), bytes.size(), consumed,
+                            frame, error),
+              DecodeStatus::BadFrame);
+    EXPECT_NE(error.find("length prefix"), std::string::npos);
+}
+
+TEST_F(ServiceProtocolTest, BadMagicAndBadVersionAreFramingErrors)
+{
+    RequestFrame frame;
+    std::string error;
+    std::size_t consumed = 0;
+    const std::vector<std::uint8_t> garbage =
+        toBytes("GET / HTTP/1.1\r\n");
+    EXPECT_EQ(decodeRequest(garbage.data(), garbage.size(), consumed,
+                            frame, error),
+              DecodeStatus::BadFrame);
+
+    std::vector<std::uint8_t> bytes;
+    appendQueryRequest(bytes, busQuery(Scheme::Base, 4));
+    bytes[1] = 99; // future protocol version
+    EXPECT_EQ(decodeRequest(bytes.data(), bytes.size(), consumed,
+                            frame, error),
+              DecodeStatus::BadFrame);
+    EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST_F(ServiceProtocolTest, WrongPayloadSizeIsARecoverableFieldError)
+{
+    // Framing intact (honest length prefix) but the query payload is
+    // short: the connection survives, the request gets an error.
+    std::vector<std::uint8_t> bytes = {
+        kRequestMagic, kProtocolVersion, 0, 0, 16, 0, 0, 0};
+    bytes.resize(bytes.size() + 16, 0);
+    const RequestFrame frame = decodeOne(bytes);
+    EXPECT_NE(frame.fieldError.find("96 bytes"), std::string::npos);
+}
+
+TEST_F(ServiceProtocolTest, UnknownEnumBytesAreRecoverableFieldErrors)
+{
+    std::vector<std::uint8_t> bytes;
+    appendQueryRequest(bytes, busQuery(Scheme::Base, 4));
+    bytes[kFrameHeader + 0] = 7; // domain byte
+    EXPECT_EQ(decodeOne(bytes).fieldError, "unknown query domain");
+
+    bytes.clear();
+    appendQueryRequest(bytes, busQuery(Scheme::Base, 4));
+    bytes[kFrameHeader + 1] = 250; // scheme byte
+    EXPECT_EQ(decodeOne(bytes).fieldError, "unknown scheme");
+}
+
+TEST_F(ServiceProtocolTest, NaNAndInfParamsAreCaughtByValidation)
+{
+    // The wire accepts any IEEE-754 bit pattern; admission control is
+    // the kernel's job. The decoded query must carry the exact NaN
+    // payload through so validate() can name the offending field.
+    Query query = busQuery(Scheme::Base, 4);
+    query.params.oclean = std::numeric_limits<double>::quiet_NaN();
+    query.params.opres = -std::numeric_limits<double>::infinity();
+    std::vector<std::uint8_t> bytes;
+    appendQueryRequest(bytes, query);
+
+    const RequestFrame frame = decodeOne(bytes);
+    EXPECT_TRUE(frame.fieldError.empty());
+    EXPECT_TRUE(std::isnan(frame.query.params.oclean));
+    EXPECT_TRUE(std::isinf(frame.query.params.opres));
+    const ServiceKernel kernel;
+    EXPECT_NE(kernel.validate(frame.query).find("oclean"),
+              std::string::npos);
+}
+
+TEST_F(ServiceProtocolTest, MalformedJsonIsARecoverableFieldError)
+{
+    for (const char *line :
+         {"{not json at all\n", "{\"domain\":\"warp\",\"cpus\":4}\n",
+          "{\"cpus\":true}\n", "{\"bogus\":1,\"cpus\":4}\n",
+          "{\"domain\":\"bus\"}\n",
+          "{\"params\":{\"zz\":1},\"cpus\":4}\n"}) {
+        SCOPED_TRACE(line);
+        const std::vector<std::uint8_t> bytes = toBytes(line);
+        const RequestFrame frame = decodeOne(bytes);
+        EXPECT_TRUE(frame.json);
+        EXPECT_FALSE(frame.fieldError.empty());
+    }
+}
+
+TEST_F(ServiceProtocolTest, OverlongJsonLineIsAFramingError)
+{
+    std::string line = "{\"cpus\":4,\"pad\":\"";
+    line.append(kMaxJsonLine, 'x'); // no newline in the first 8 KiB
+    const std::vector<std::uint8_t> bytes = toBytes(line);
+    RequestFrame frame;
+    std::string error;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeRequest(bytes.data(), bytes.size(), consumed,
+                            frame, error),
+              DecodeStatus::BadFrame);
+    EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST_F(ServiceProtocolTest, PipelinedFramesDecodeOneAtATime)
+{
+    std::vector<std::uint8_t> bytes;
+    appendQueryRequest(bytes, busQuery(Scheme::Base, 4));
+    const std::string line = "{\"cpus\":8,\"scheme\":\"dragon\"}\n";
+    bytes.insert(bytes.end(), line.begin(), line.end());
+    appendControlRequest(bytes, RequestKind::Ping);
+
+    std::size_t offset = 0;
+    std::vector<RequestFrame> frames;
+    while (offset < bytes.size()) {
+        RequestFrame frame;
+        std::string error;
+        std::size_t consumed = 0;
+        ASSERT_EQ(decodeRequest(bytes.data() + offset,
+                                bytes.size() - offset, consumed,
+                                frame, error),
+                  DecodeStatus::Frame)
+            << error;
+        offset += consumed;
+        frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].kind, RequestKind::Query);
+    EXPECT_FALSE(frames[0].json);
+    EXPECT_EQ(frames[1].query.scheme, Scheme::Dragon);
+    EXPECT_TRUE(frames[1].json);
+    EXPECT_EQ(frames[2].kind, RequestKind::Ping);
+}
+
+} // namespace
+} // namespace swcc::service
