@@ -230,35 +230,56 @@ runOpenLoop(const std::string &socket, unsigned threads, double rate,
             std::vector<std::uint64_t> scheduled;
             std::size_t head = 0;
             double next = 0.0;
-            for (;;) {
-                const std::uint64_t due =
-                    static_cast<std::uint64_t>(next);
-                if (due >= horizon) {
-                    break;
-                }
-                while (nanosSince(start) < due) {
-                    // Drain while waiting for the next tick.
-                    if (head < scheduled.size() &&
-                        client.pollReadable(0)) {
-                        (void)client.recvResult();
-                        histograms[t].record(nanosSince(start) -
-                                             scheduled[head]);
-                        ++head;
-                        ++counts[t];
-                    } else {
-                        std::this_thread::yield();
+            try {
+                for (;;) {
+                    const std::uint64_t due =
+                        static_cast<std::uint64_t>(next);
+                    if (due >= horizon) {
+                        break;
                     }
+                    while (nanosSince(start) < due) {
+                        // Drain while waiting for the next tick.
+                        if (head < scheduled.size() &&
+                            client.pollReadable(0)) {
+                            (void)client.recvResult();
+                            histograms[t].record(nanosSince(start) -
+                                                 scheduled[head]);
+                            ++head;
+                            ++counts[t];
+                        } else {
+                            std::this_thread::yield();
+                        }
+                    }
+                    scheduled.push_back(due);
+                    next += interval_ns;
+                    client.sendQuery(mixedQuery(rng));
                 }
-                scheduled.push_back(due);
-                client.sendQuery(mixedQuery(rng));
-                next += interval_ns;
-            }
-            while (head < scheduled.size()) {
-                (void)client.recvResult();
-                histograms[t].record(nanosSince(start) -
-                                     scheduled[head]);
-                ++head;
-                ++counts[t];
+                while (head < scheduled.size()) {
+                    (void)client.recvResult();
+                    histograms[t].record(nanosSince(start) -
+                                         scheduled[head]);
+                    ++head;
+                    ++counts[t];
+                }
+            } catch (const std::exception &) {
+                // The daemon went away mid-run. Charge every request
+                // that was sent but never answered — and every tick
+                // that came due but was never sent — its full elapsed
+                // wait, so an early exit inflates the tail instead of
+                // silently truncating it. None of these count toward
+                // QPS: no response arrived.
+                const std::uint64_t now = nanosSince(start);
+                for (; head < scheduled.size(); ++head) {
+                    histograms[t].record(now - scheduled[head]);
+                }
+                for (double tick = next;; tick += interval_ns) {
+                    const std::uint64_t due =
+                        static_cast<std::uint64_t>(tick);
+                    if (due >= horizon || due > now) {
+                        break;
+                    }
+                    histograms[t].record(now - due);
+                }
             }
         });
     }

@@ -431,6 +431,26 @@ validateChromeTrace(const JsonValue &doc, std::string *error)
           case 'i':
           case 'I':
             break;
+          case 's':
+          case 't':
+          case 'f':
+          case 'b':
+          case 'e': {
+            // Flow (s/t/f) and async (b/e) events correlate across
+            // threads by id; without one they can never be matched.
+            const JsonValue *id = event.find("id");
+            if (id == nullptr ||
+                (!id->isNumber() && !id->isString())) {
+                return failWith(at +
+                                "flow/async event needs \"id\"");
+            }
+            const JsonValue *cat = event.find("cat");
+            if (cat == nullptr || !cat->isString()) {
+                return failWith(at +
+                                "flow/async event needs \"cat\"");
+            }
+            break;
+          }
           default:
             return failWith(at + "unsupported phase '" +
                             std::string(1, phase) + "'");

@@ -72,7 +72,8 @@ std::string jsonEscape(std::string_view text);
  *    "pid"/"tid" ("ts" required except for metadata);
  *  - per (pid, tid), "ts" never decreases and B/E events are balanced
  *    (every E closes a B, none left open);
- *  - X events carry a non-negative "dur"; C events carry args.
+ *  - X events carry a non-negative "dur"; C events carry args;
+ *  - flow (s/t/f) and async (b/e) events carry an "id" and "cat".
  *
  * On failure @p error (if non-null) receives a description of the
  * first violation.

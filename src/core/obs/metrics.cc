@@ -7,6 +7,7 @@
 
 #include "core/campaign/atomic_file.hh"
 #include "core/obs/json.hh"
+#include "core/obs/prometheus.hh"
 
 namespace swcc::obs
 {
@@ -22,6 +23,24 @@ renderNumber(double value)
     os.precision(17);
     os << value;
     return os.str();
+}
+
+/** RFC-4180 quoting for fields containing separators or quotes. */
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos) {
+        return field;
+    }
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"') {
+            out += '"';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
 }
 
 } // namespace
@@ -280,7 +299,7 @@ writeMetricsCsv(std::ostream &os)
             snap.kind == MetricSnapshot::Kind::Counter ? "counter"
             : snap.kind == MetricSnapshot::Kind::Gauge ? "gauge"
                                                        : "histogram";
-        os << snap.name << ',' << kind << ','
+        os << csvEscape(snap.name) << ',' << kind << ','
            << renderNumber(snap.value) << ',' << snap.count << ','
            << renderNumber(snap.sum) << '\n';
     }
@@ -292,6 +311,8 @@ writeMetricsFile(const std::string &path)
     campaign::atomicWriteFile(path, [&](std::ostream &os) {
         if (path.ends_with(".csv")) {
             writeMetricsCsv(os);
+        } else if (path.ends_with(".prom")) {
+            writeMetricsPrometheus(os);
         } else {
             writeMetricsJson(os);
         }

@@ -1,0 +1,138 @@
+#include "core/obs/prometheus.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace swcc::obs
+{
+
+namespace
+{
+
+bool
+promNameChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/** Finite-safe value rendering; +Inf renders as "+Inf" for le. */
+std::string
+renderValue(double value)
+{
+    if (std::isinf(value)) {
+        return value > 0 ? "+Inf" : "-Inf";
+    }
+    if (std::isnan(value)) {
+        return "NaN";
+    }
+    // Shortest round-trip form: scrape-heavy expositions render
+    // thousands of bucket bounds, and iostream's precision(17)
+    // both bloats them ("56.832000000000001") and costs ~10x the
+    // CPU of to_chars.
+    char buffer[32];
+    const std::to_chars_result result =
+        std::to_chars(buffer, buffer + sizeof buffer, value);
+    return std::string(buffer, result.ptr);
+}
+
+} // namespace
+
+std::string
+promMetricName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        out += promNameChar(c) ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+std::string
+promEscapeLabel(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+promFamilyName(const MetricSnapshot &snap)
+{
+    std::string name = promMetricName(snap.name);
+    if (snap.kind == MetricSnapshot::Kind::Counter &&
+        !name.ends_with("_total")) {
+        name += "_total";
+    }
+    return name;
+}
+
+void
+appendPrometheus(std::string &out, const MetricSnapshot &snap)
+{
+    const std::string name = promFamilyName(snap);
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::Counter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + ' ' + renderValue(snap.value) + '\n';
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + ' ' + renderValue(snap.value) + '\n';
+        break;
+      case MetricSnapshot::Kind::Histogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+            cumulative += b < snap.counts.size() ? snap.counts[b] : 0;
+            out += name + "_bucket{le=\"" +
+                renderValue(snap.bounds[b]) + "\"} " +
+                std::to_string(cumulative) + '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+            std::to_string(snap.count) + '\n';
+        out += name + "_sum " + renderValue(snap.sum) + '\n';
+        out += name + "_count " + std::to_string(snap.count) + '\n';
+        break;
+      }
+    }
+}
+
+std::string
+renderPrometheus(const std::vector<MetricSnapshot> &snaps)
+{
+    std::string out;
+    for (const MetricSnapshot &snap : snaps) {
+        appendPrometheus(out, snap);
+    }
+    return out;
+}
+
+void
+writeMetricsPrometheus(std::ostream &os)
+{
+    os << renderPrometheus(metrics().snapshot());
+}
+
+} // namespace swcc::obs

@@ -132,6 +132,47 @@ TraceRecorder::recordCounter(std::uint32_t name, std::int32_t pid,
 }
 
 void
+TraceRecorder::recordFlowStart(std::uint32_t name, std::int32_t pid,
+                               std::int32_t tid, double ts,
+                               std::uint64_t id)
+{
+    append({ts, 0.0, name, pid, tid, TraceRecord::Kind::FlowStart, id});
+}
+
+void
+TraceRecorder::recordFlowStep(std::uint32_t name, std::int32_t pid,
+                              std::int32_t tid, double ts,
+                              std::uint64_t id)
+{
+    append({ts, 0.0, name, pid, tid, TraceRecord::Kind::FlowStep, id});
+}
+
+void
+TraceRecorder::recordFlowEnd(std::uint32_t name, std::int32_t pid,
+                             std::int32_t tid, double ts,
+                             std::uint64_t id)
+{
+    append({ts, 0.0, name, pid, tid, TraceRecord::Kind::FlowEnd, id});
+}
+
+void
+TraceRecorder::recordAsyncBegin(std::uint32_t name, std::int32_t pid,
+                                std::int32_t tid, double ts,
+                                std::uint64_t id)
+{
+    append(
+        {ts, 0.0, name, pid, tid, TraceRecord::Kind::AsyncBegin, id});
+}
+
+void
+TraceRecorder::recordAsyncEnd(std::uint32_t name, std::int32_t pid,
+                              std::int32_t tid, double ts,
+                              std::uint64_t id)
+{
+    append({ts, 0.0, name, pid, tid, TraceRecord::Kind::AsyncEnd, id});
+}
+
+void
 TraceRecorder::setProcessName(std::int32_t pid, std::string name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -286,6 +327,38 @@ TraceRecorder::writeChromeTrace(std::ostream &os) const
                      "\",\"ph\":\"C\",\"ts\":" + renderTs(record.ts) +
                      ",\"args\":{\"value\":" + renderTs(record.dur) +
                      '}' + common);
+                break;
+              case TraceRecord::Kind::FlowStart:
+              case TraceRecord::Kind::FlowStep:
+              case TraceRecord::Kind::FlowEnd: {
+                const char ph =
+                    record.kind == TraceRecord::Kind::FlowStart ? 's'
+                    : record.kind == TraceRecord::Kind::FlowStep
+                        ? 't'
+                        : 'f';
+                std::string body = "\"name\":\"" + jsonEscape(name) +
+                    "\",\"cat\":\"swcc.flow\",\"ph\":\"" + ph +
+                    "\",\"id\":" + std::to_string(record.id) +
+                    ",\"ts\":" + renderTs(record.ts);
+                if (ph == 'f') {
+                    // Bind the arrow head to the slice *enclosing*
+                    // the end timestamp, not the next slice to start.
+                    body += ",\"bp\":\"e\"";
+                }
+                emit(body + common);
+                break;
+              }
+              case TraceRecord::Kind::AsyncBegin:
+                emit("\"name\":\"" + jsonEscape(name) +
+                     "\",\"cat\":\"swcc.async\",\"ph\":\"b\",\"id\":" +
+                     std::to_string(record.id) +
+                     ",\"ts\":" + renderTs(record.ts) + common);
+                break;
+              case TraceRecord::Kind::AsyncEnd:
+                emit("\"name\":\"" + jsonEscape(name) +
+                     "\",\"cat\":\"swcc.async\",\"ph\":\"e\",\"id\":" +
+                     std::to_string(record.id) +
+                     ",\"ts\":" + renderTs(record.ts) + common);
                 break;
             }
         }

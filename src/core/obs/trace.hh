@@ -53,11 +53,16 @@ struct TraceRecord
 {
     enum class Kind : std::uint8_t
     {
-        Complete, ///< X event: ts + dur.
-        Begin,    ///< B event: ts.
-        End,      ///< E event: ts.
-        Instant,  ///< i event: ts.
-        Counter,  ///< C event: ts + value (stored in dur).
+        Complete,   ///< X event: ts + dur.
+        Begin,      ///< B event: ts.
+        End,        ///< E event: ts.
+        Instant,    ///< i event: ts.
+        Counter,    ///< C event: ts + value (stored in dur).
+        FlowStart,  ///< s event: ts + id; binds to the enclosing slice.
+        FlowStep,   ///< t event: ts + id.
+        FlowEnd,    ///< f event: ts + id.
+        AsyncBegin, ///< b event: ts + id; matched cross-thread by id.
+        AsyncEnd,   ///< e event: ts + id.
     };
 
     double ts = 0.0;
@@ -66,6 +71,8 @@ struct TraceRecord
     std::int32_t pid = 0;
     std::int32_t tid = 0;
     Kind kind = Kind::Complete;
+    /** Flow/async correlation id (e.g. a service trace id). */
+    std::uint64_t id = 0;
 };
 
 /**
@@ -121,6 +128,25 @@ class TraceRecorder
                        std::int32_t tid, double ts);
     void recordCounter(std::uint32_t name, std::int32_t pid,
                        std::int32_t tid, double ts, double value);
+
+    /**
+     * Flow events ("s"/"t"/"f", cat "swcc.flow") draw arrows between
+     * the slices enclosing their timestamps across threads; all three
+     * must share @p name and @p id. Async events ("b"/"e", cat
+     * "swcc.async") render an [begin, end) interval matched by @p id
+     * even when begin and end land on different threads.
+     */
+    void recordFlowStart(std::uint32_t name, std::int32_t pid,
+                         std::int32_t tid, double ts, std::uint64_t id);
+    void recordFlowStep(std::uint32_t name, std::int32_t pid,
+                        std::int32_t tid, double ts, std::uint64_t id);
+    void recordFlowEnd(std::uint32_t name, std::int32_t pid,
+                       std::int32_t tid, double ts, std::uint64_t id);
+    void recordAsyncBegin(std::uint32_t name, std::int32_t pid,
+                          std::int32_t tid, double ts,
+                          std::uint64_t id);
+    void recordAsyncEnd(std::uint32_t name, std::int32_t pid,
+                        std::int32_t tid, double ts, std::uint64_t id);
 
     /** Names a process/thread in the emitted trace (M events). */
     void setProcessName(std::int32_t pid, std::string name);

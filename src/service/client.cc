@@ -10,6 +10,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/obs/json.hh"
+
 namespace swcc::service
 {
 
@@ -230,6 +232,34 @@ ServiceClient::ping()
         sendRaw(out.data(), out.size());
     }
     return recvResponse().text;
+}
+
+std::string
+ServiceClient::scrape()
+{
+    if (json_) {
+        const std::string line = "{\"cmd\":\"scrape\"}\n";
+        sendRaw(line.data(), line.size());
+    } else {
+        std::vector<std::uint8_t> out;
+        appendControlRequest(out, RequestKind::Scrape);
+        sendRaw(out.data(), out.size());
+    }
+    const std::string text = recvResponse().text;
+    if (!json_) {
+        return text;
+    }
+    const obs::JsonValue doc = obs::parseJson(text);
+    if (!doc.isObject()) {
+        throw std::runtime_error(
+            "malformed scrape response: not a JSON object");
+    }
+    const obs::JsonValue *field = doc.find("scrape");
+    if (field == nullptr || !field->isString()) {
+        throw std::runtime_error(
+            "scrape response missing \"scrape\" field");
+    }
+    return field->string;
 }
 
 } // namespace swcc::service

@@ -65,6 +65,13 @@ class ServiceClient
     /** Round-trips a ping; returns the echo payload. */
     std::string ping();
 
+    /**
+     * The daemon's Prometheus text-exposition snapshot. In JSON mode
+     * the response's "scrape" field is unwrapped, so both dialects
+     * return the same multi-line exposition text.
+     */
+    std::string scrape();
+
     /** Writes raw bytes (protocol robustness tests). */
     void sendRaw(const void *data, std::size_t size);
 

@@ -1,0 +1,129 @@
+#include "service/flight_recorder.hh"
+
+#include <algorithm>
+
+#include "core/obs/json.hh"
+#include "core/types.hh"
+
+namespace swcc::service
+{
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 16))
+{
+}
+
+void
+FlightRecorder::record(const FlightRecord &record)
+{
+    const std::uint64_t n =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[n % slots_.size()];
+
+    // Odd sequence marks the slot inconsistent while fields land.
+    const std::uint64_t seq =
+        slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq | 1, std::memory_order_release);
+
+    slot.traceId.store(record.traceId, std::memory_order_relaxed);
+    slot.decodeNs.store(record.decodeNs, std::memory_order_relaxed);
+    slot.queueWaitNs.store(record.queueWaitNs,
+                           std::memory_order_relaxed);
+    slot.solveNs.store(record.solveNs, std::memory_order_relaxed);
+    slot.totalNs.store(record.totalNs, std::memory_order_relaxed);
+    slot.batchSize.store(record.batchSize, std::memory_order_relaxed);
+    slot.size.store(record.size, std::memory_order_relaxed);
+    slot.domain.store(static_cast<std::uint8_t>(record.domain),
+                      std::memory_order_relaxed);
+    slot.scheme.store(static_cast<std::uint8_t>(record.scheme),
+                      std::memory_order_relaxed);
+    slot.ok.store(record.ok ? 1 : 0, std::memory_order_relaxed);
+
+    slot.seq.store((seq | 1) + 1, std::memory_order_release);
+}
+
+std::uint64_t
+FlightRecorder::totalRecorded() const
+{
+    return next_.load(std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord>
+FlightRecorder::snapshot() const
+{
+    const std::uint64_t total =
+        next_.load(std::memory_order_acquire);
+    const std::size_t cap = slots_.size();
+    const std::uint64_t first = total > cap ? total - cap : 0;
+
+    std::vector<FlightRecord> out;
+    out.reserve(std::min<std::uint64_t>(total, cap));
+    for (std::uint64_t i = first; i < total; ++i) {
+        const Slot &slot = slots_[i % cap];
+        const std::uint64_t before =
+            slot.seq.load(std::memory_order_acquire);
+        if (before % 2 != 0) {
+            continue; // Mid-write.
+        }
+        FlightRecord record;
+        record.traceId =
+            slot.traceId.load(std::memory_order_relaxed);
+        record.decodeNs =
+            slot.decodeNs.load(std::memory_order_relaxed);
+        record.queueWaitNs =
+            slot.queueWaitNs.load(std::memory_order_relaxed);
+        record.solveNs = slot.solveNs.load(std::memory_order_relaxed);
+        record.totalNs = slot.totalNs.load(std::memory_order_relaxed);
+        record.batchSize =
+            slot.batchSize.load(std::memory_order_relaxed);
+        record.size = slot.size.load(std::memory_order_relaxed);
+        record.domain = static_cast<QueryDomain>(
+            slot.domain.load(std::memory_order_relaxed));
+        record.scheme = static_cast<Scheme>(
+            slot.scheme.load(std::memory_order_relaxed));
+        record.ok = slot.ok.load(std::memory_order_relaxed) != 0;
+        // Zero-delta RMW: its release half keeps the field loads
+        // above from sinking past the recheck (a fence would do the
+        // same but is unsupported under -fsanitize=thread).
+        if (slot.seq.fetch_add(0, std::memory_order_acq_rel) !=
+            before) {
+            continue; // Overwritten while we read.
+        }
+        out.push_back(record);
+    }
+    return out;
+}
+
+std::string
+FlightRecorder::toJson() const
+{
+    const std::vector<FlightRecord> records = snapshot();
+    std::string out = "{\"flight_recorder\":{\"capacity\":" +
+        std::to_string(slots_.size()) +
+        ",\"total_recorded\":" + std::to_string(totalRecorded()) +
+        ",\"records\":[";
+    bool first = true;
+    for (const FlightRecord &record : records) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"trace_id\":" + std::to_string(record.traceId) +
+            ",\"decode_ns\":" + std::to_string(record.decodeNs) +
+            ",\"queue_wait_ns\":" +
+            std::to_string(record.queueWaitNs) +
+            ",\"solve_ns\":" + std::to_string(record.solveNs) +
+            ",\"total_ns\":" + std::to_string(record.totalNs) +
+            ",\"batch_size\":" + std::to_string(record.batchSize) +
+            ",\"size\":" + std::to_string(record.size) +
+            ",\"domain\":\"" +
+            std::string(domainName(record.domain)) +
+            "\",\"scheme\":\"" +
+            obs::jsonEscape(std::string(schemeName(record.scheme))) +
+            "\",\"ok\":" + (record.ok ? "true" : "false") + '}';
+    }
+    out += "]}}\n";
+    return out;
+}
+
+} // namespace swcc::service

@@ -206,9 +206,11 @@ parseJsonRequest(std::string_view line, RequestFrame &frame)
                 frame.kind = RequestKind::Stats;
             } else if (cmd == "ping") {
                 frame.kind = RequestKind::Ping;
+            } else if (cmd == "scrape") {
+                frame.kind = RequestKind::Scrape;
             } else {
                 frame.fieldError = "unknown cmd \"" + value.string +
-                    "\" (expected stats or ping)";
+                    "\" (expected stats, ping, or scrape)";
                 return;
             }
         } else if (key == "domain") {
@@ -656,6 +658,7 @@ decodeRequest(const std::uint8_t *data, std::size_t size,
       }
       case static_cast<std::uint8_t>(RequestKind::Stats):
       case static_cast<std::uint8_t>(RequestKind::Ping):
+      case static_cast<std::uint8_t>(RequestKind::Scrape):
         frame.kind = static_cast<RequestKind>(kind);
         if (length != 0) {
             frame.fieldError = "control requests carry no payload";

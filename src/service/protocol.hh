@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "service/service_kernel.hh"
+#include "service/trace_context.hh"
 
 namespace swcc::service
 {
@@ -62,6 +63,8 @@ enum class RequestKind : std::uint8_t
     Query = 0,
     Stats = 1,
     Ping = 2,
+    /** Prometheus text-exposition snapshot of the live daemon. */
+    Scrape = 3,
 };
 
 enum class ResponseStatus : std::uint8_t
@@ -80,6 +83,8 @@ struct RequestFrame
     bool json = false;
     /** Non-empty: framing was intact but a field is invalid. */
     std::string fieldError;
+    /** Minted by the server at decode; rides to the worker. */
+    TraceContext trace;
 };
 
 /** One decoded response (client side). */

@@ -141,6 +141,42 @@ TEST(MetricsTest, JsonExportParses)
     EXPECT_TRUE(found);
 }
 
+TEST(MetricsTest, CsvExportQuotesHostileNames)
+{
+    // RFC-4180 round trip: a name containing the separator, quotes,
+    // and a newline must come back intact from the CSV export.
+    const std::string hostile = "test.obs,csv\"quoted\"\nname";
+    obs::metrics().counter(hostile).add(3);
+    std::ostringstream os;
+    obs::writeMetricsCsv(os);
+    const std::string text = os.str();
+
+    // The quoted form: field wrapped in quotes, inner quotes doubled.
+    const std::string quoted = "\"test.obs,csv\"\"quoted\"\"\nname\"";
+    const std::size_t at = text.find(quoted);
+    ASSERT_NE(at, std::string::npos) << text;
+
+    // Un-quote the field by hand (the round trip): scan from the
+    // opening quote to the closing one, collapsing doubled quotes.
+    std::string decoded;
+    std::size_t i = at + 1;
+    while (i < text.size()) {
+        if (text[i] == '"') {
+            if (i + 1 < text.size() && text[i + 1] == '"') {
+                decoded += '"';
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        decoded += text[i++];
+    }
+    EXPECT_EQ(decoded, hostile);
+    // The rest of the row is ordinary fields.
+    EXPECT_EQ(text.compare(at + quoted.size(), 9, ",counter,"), 0)
+        << text.substr(at);
+}
+
 TEST(LogTest, LevelsFilterAndCaptureCallSite)
 {
     LogCaptureGuard guard;
@@ -277,6 +313,53 @@ TEST(TraceRecorderTest, EmitsValidChromeTrace)
         }
     }
     EXPECT_EQ(spans, obs::compiledIn() ? 2u : 0u);
+}
+
+TEST(TraceRecorderTest, FlowAndAsyncEventsValidate)
+{
+    // The daemon's per-query chain: an X span per stage, flow events
+    // binding them across threads, and an async begin/end pair for the
+    // queue residency. The Chrome validator must accept all of it.
+    obs::TraceRecorder &trc = obs::tracer();
+    trc.clearForTest();
+    trc.setEnabled(true);
+    const std::uint32_t decode = trc.intern("svc.decode");
+    const std::uint32_t solve = trc.intern("svc.solve");
+    const std::uint32_t queue = trc.intern("svc.queue");
+    const std::uint32_t flow = trc.intern("svc.query");
+    if (trc.enabled()) {
+        trc.recordComplete(decode, 3, 1, 10.0, 4.0);
+        trc.recordFlowStart(flow, 3, 1, 12.0, 77);
+        trc.recordAsyncBegin(queue, 3, 1, 14.0, 77);
+        trc.recordAsyncEnd(queue, 3, 2, 20.0, 77);
+        trc.recordComplete(solve, 3, 2, 20.0, 6.0);
+        trc.recordFlowStep(flow, 3, 2, 23.0, 77);
+        trc.recordFlowEnd(flow, 3, 1, 30.0, 77);
+    }
+    std::ostringstream os;
+    trc.writeChromeTrace(os);
+    trc.setEnabled(false);
+
+    std::string error;
+    const obs::JsonValue doc = obs::parseJson(os.str());
+    EXPECT_TRUE(obs::validateChromeTrace(doc, &error)) << error;
+
+    const obs::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::size_t flows = 0, asyncs = 0;
+    for (const obs::JsonValue &event : events->array) {
+        const std::string &ph = event.find("ph")->string;
+        if (ph == "s" || ph == "t" || ph == "f") {
+            ++flows;
+            const obs::JsonValue *id = event.find("id");
+            ASSERT_NE(id, nullptr);
+            EXPECT_DOUBLE_EQ(id->number, 77.0);
+        } else if (ph == "b" || ph == "e") {
+            ++asyncs;
+        }
+    }
+    EXPECT_EQ(flows, obs::compiledIn() ? 3u : 0u);
+    EXPECT_EQ(asyncs, obs::compiledIn() ? 2u : 0u);
 }
 
 TEST(TraceRecorderTest, RingWrapDropsOldestButStaysValid)

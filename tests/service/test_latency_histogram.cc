@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Bucket-boundary and merge tests for the HdrHistogram-style
+ * LatencyHistogram (src/service/latency_histogram.hh). The scrape
+ * endpoint renders merged per-worker histograms, so merge() must be
+ * lossless: merging per-worker histograms has to equal one histogram
+ * fed the union of the samples, bucket for bucket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "service/latency_histogram.hh"
+
+namespace swcc::service
+{
+namespace
+{
+
+/** The bucket index a value lands in, recovered via the public API. */
+std::size_t
+indexOf(std::uint64_t value)
+{
+    LatencyHistogram hist;
+    hist.record(value);
+    const std::vector<std::uint64_t> &buckets = hist.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] != 0) {
+            return i;
+        }
+    }
+    ADD_FAILURE() << "record(" << value << ") hit no bucket";
+    return 0;
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact)
+{
+    // The first 64 buckets are unit-width: the upper bound IS the
+    // value, so quantiles of sub-64ns samples are exact.
+    for (std::uint64_t v : {0ull, 1ull, 7ull, 63ull}) {
+        LatencyHistogram hist;
+        hist.record(v);
+        EXPECT_EQ(hist.valueAtQuantile(0.5), v);
+        EXPECT_EQ(LatencyHistogram::bucketUpperBound(indexOf(v)), v);
+    }
+}
+
+TEST(LatencyHistogramTest, BucketUpperBoundMapsToItsOwnBucket)
+{
+    // An upper bound is *inclusive*: recording exactly the bound of
+    // bucket i must land in bucket i, and recording bound+1 must not.
+    // Walk bounds across several log2 groups.
+    for (std::size_t i : {0u, 63u, 64u, 95u, 96u, 200u, 500u, 900u}) {
+        const std::uint64_t bound =
+            LatencyHistogram::bucketUpperBound(i);
+        EXPECT_EQ(indexOf(bound), i) << "bound " << bound;
+        EXPECT_EQ(indexOf(bound + 1), i + 1) << "bound " << bound;
+    }
+}
+
+TEST(LatencyHistogramTest, BoundsAreStrictlyIncreasing)
+{
+    std::uint64_t prev = LatencyHistogram::bucketUpperBound(0);
+    LatencyHistogram probe;
+    for (std::size_t i = 1; i < probe.buckets().size(); ++i) {
+        const std::uint64_t bound =
+            LatencyHistogram::bucketUpperBound(i);
+        EXPECT_GT(bound, prev) << "bucket " << i;
+        prev = bound;
+    }
+}
+
+TEST(LatencyHistogramTest, QuantileAtExactBucketEdges)
+{
+    // Ten observations in ten distinct buckets: quantile q resolves
+    // to the ceil(q*10)-th observation's bucket bound, so each edge
+    // 0.1, 0.2, ... lands exactly on the next sample's bound.
+    std::vector<std::uint64_t> bounds;
+    LatencyHistogram hist;
+    for (std::size_t i = 100; i < 110; ++i) {
+        const std::uint64_t bound =
+            LatencyHistogram::bucketUpperBound(i);
+        bounds.push_back(bound);
+        hist.record(bound);
+    }
+    ASSERT_EQ(hist.count(), 10u);
+    for (int k = 1; k <= 10; ++k) {
+        const double q = static_cast<double>(k) / 10.0;
+        EXPECT_EQ(hist.valueAtQuantile(q),
+                  bounds[static_cast<std::size_t>(k) - 1])
+            << "q=" << q;
+        // Just past the previous edge, still the k-th sample.
+        EXPECT_EQ(hist.valueAtQuantile(q - 0.05),
+                  bounds[static_cast<std::size_t>(k) - 1])
+            << "q=" << q - 0.05;
+    }
+    EXPECT_EQ(hist.valueAtQuantile(0.0), bounds.front());
+    EXPECT_EQ(hist.valueAtQuantile(1.0), bounds.back());
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero)
+{
+    const LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.sum(), 0u);
+    EXPECT_EQ(hist.mean(), 0.0);
+    EXPECT_EQ(hist.minValue(), 0u);
+    EXPECT_EQ(hist.maxValue(), 0u);
+    EXPECT_EQ(hist.valueAtQuantile(0.99), 0u);
+}
+
+TEST(LatencyHistogramTest, MergeOfPartsEqualsUnion)
+{
+    // Split one sample stream across three "workers"; merging the
+    // three must be indistinguishable from one histogram that saw
+    // everything — the invariant buildScrape() relies on.
+    std::vector<std::uint64_t> samples;
+    std::uint64_t v = 3;
+    for (int i = 0; i < 400; ++i) {
+        samples.push_back(v);
+        v = v * 2654435761u % 50000000u; // spread over ~26 log2 groups
+    }
+    LatencyHistogram whole;
+    LatencyHistogram parts[3];
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        whole.record(samples[i]);
+        parts[i % 3].record(samples[i]);
+    }
+    LatencyHistogram merged;
+    for (const LatencyHistogram &part : parts) {
+        merged.merge(part);
+    }
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.sum(), whole.sum());
+    EXPECT_EQ(merged.minValue(), whole.minValue());
+    EXPECT_EQ(merged.maxValue(), whole.maxValue());
+    EXPECT_EQ(merged.buckets(), whole.buckets());
+    for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        EXPECT_EQ(merged.valueAtQuantile(q), whole.valueAtQuantile(q))
+            << "q=" << q;
+    }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram hist;
+    hist.record(100);
+    hist.record(200000);
+    const std::uint64_t count = hist.count();
+    const std::uint64_t sum = hist.sum();
+
+    LatencyHistogram empty;
+    hist.merge(empty); // no-op
+    EXPECT_EQ(hist.count(), count);
+    EXPECT_EQ(hist.sum(), sum);
+    EXPECT_EQ(hist.minValue(), 100u);
+
+    empty.merge(hist); // adopt min/max from the non-empty side
+    EXPECT_EQ(empty.count(), count);
+    EXPECT_EQ(empty.minValue(), 100u);
+    EXPECT_EQ(empty.maxValue(), 200000u);
+}
+
+} // namespace
+} // namespace swcc::service

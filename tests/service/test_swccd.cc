@@ -16,13 +16,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
+#include "core/obs/obs.hh"
 #include "core/solver_cache.hh"
 #include "core/types.hh"
 #include "core/workload.hh"
@@ -337,6 +342,293 @@ TEST_F(ServiceDaemonTest, RecoverableFieldErrorsKeepTheConnection)
     EXPECT_EQ(frame.status, ResponseStatus::BadRequest);
     EXPECT_EQ(frame.text, "unknown scheme");
     EXPECT_TRUE(client.query(busQuery(Scheme::Base, 4)).ok);
+}
+
+/** The value of the sample line `<name> <value>` in exposition text. */
+double
+promValue(const std::string &text, const std::string &name)
+{
+    const std::string padded = "\n" + text;
+    const std::string needle = "\n" + name + " ";
+    const std::size_t at = padded.find(needle);
+    if (at == std::string::npos) {
+        ADD_FAILURE() << "sample '" << name << "' not in scrape:\n"
+                      << text;
+        return -1.0;
+    }
+    return std::stod(padded.substr(at + needle.size()));
+}
+
+/**
+ * Workers record telemetry *after* flushing completions (off the
+ * latency path), so a scrape racing the response can read stale
+ * counts. Polls until @p name reaches @p target (or ~2s pass) and
+ * returns the last scrape; the caller's assertions then report any
+ * real discrepancy.
+ */
+std::string
+scrapeUntilAtLeast(ServiceClient &client, const std::string &name,
+                   double target)
+{
+    std::string scrape;
+    for (int i = 0; i < 400; ++i) {
+        scrape = client.scrape();
+        const std::string padded = "\n" + scrape;
+        const std::string needle = "\n" + name + " ";
+        const std::size_t at = padded.find(needle);
+        if (at != std::string::npos &&
+            std::stod(padded.substr(at + needle.size())) >= target) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return scrape;
+}
+
+#if SWCC_OBS_ENABLED
+/** Registry snapshot entry by name; fails the test if absent. */
+obs::MetricSnapshot
+findMetric(const std::string &name)
+{
+    for (const obs::MetricSnapshot &snap : obs::metrics().snapshot()) {
+        if (snap.name == name) {
+            return snap;
+        }
+    }
+    ADD_FAILURE() << "metric '" << name << "' not in snapshot";
+    return {};
+}
+#endif
+
+TEST_F(ServiceDaemonTest, ScrapeEndpointServesPrometheusText)
+{
+    startDaemon();
+    ServiceClient client;
+    client.connect(socket_);
+    for (unsigned i = 0; i < 8; ++i) {
+        client.sendQuery(busQuery(Scheme::Base, 4 + i));
+    }
+    for (unsigned i = 0; i < 8; ++i) {
+        ASSERT_TRUE(client.recvResult().ok);
+    }
+
+    const std::string scrape =
+        scrapeUntilAtLeast(client, "service_request_us_count", 8.0);
+    EXPECT_NE(scrape.find("# TYPE service_queries_total counter\n"),
+              std::string::npos)
+        << scrape;
+    EXPECT_NE(scrape.find("# TYPE service_inflight gauge\n"),
+              std::string::npos);
+    EXPECT_NE(scrape.find("# TYPE service_request_us histogram\n"),
+              std::string::npos);
+    EXPECT_GE(promValue(scrape, "service_queries_total"), 8.0);
+    EXPECT_GE(promValue(scrape, "solver_cache_hits_total"), 0.0);
+    EXPECT_GE(promValue(scrape, "solver_cache_misses_total"), 1.0);
+    EXPECT_GE(promValue(scrape, "service_request_us_count"), 8.0);
+    EXPECT_GE(promValue(scrape, "service_batch_size_count"), 1.0);
+    EXPECT_GE(promValue(scrape, "service_connections_active"), 1.0);
+    EXPECT_EQ(promValue(scrape, "service_queue_depth"), 0.0);
+
+    // The JSON dialect unwraps to the same exposition text.
+    ServiceClient jsonClient;
+    jsonClient.connect(socket_);
+    jsonClient.useJson(true);
+    const std::string viaJson = jsonClient.scrape();
+    EXPECT_NE(viaJson.find("# TYPE service_inflight gauge\n"),
+              std::string::npos)
+        << viaJson;
+    EXPECT_GE(promValue(viaJson, "service_queries_total"), 8.0);
+}
+
+TEST_F(ServiceDaemonTest, QueueWaitIsVisibleOnlyThroughTheDaemon)
+{
+    startDaemon(2, 16);
+#if SWCC_OBS_ENABLED
+    obs::metrics().resetForTest();
+#endif
+    // Direct kernel evaluation never queues: whatever happens here
+    // must leave the service.queue_wait_us registry histogram empty.
+    const ServiceKernel kernel;
+    for (unsigned i = 0; i < 8; ++i) {
+        (void)kernel.evaluate(busQuery(Scheme::Base, 4 + i));
+    }
+#if SWCC_OBS_ENABLED
+    EXPECT_EQ(findMetric("service.queue_wait_us").count, 0u);
+#endif
+
+    // A pipelined burst through the daemon rides the MPMC queue, so
+    // every query accrues a measurable (nonzero-count) queue wait.
+    ServiceClient client;
+    client.connect(socket_);
+    for (unsigned i = 0; i < 32; ++i) {
+        client.sendQuery(busQuery(Scheme::Dragon, 1 + i % 64));
+    }
+    for (unsigned i = 0; i < 32; ++i) {
+        ASSERT_TRUE(client.recvResult().ok);
+    }
+    const std::string scrape = scrapeUntilAtLeast(
+        client, "service_queue_wait_us_count", 32.0);
+    EXPECT_GE(promValue(scrape, "service_queue_wait_us_count"), 32.0);
+#if SWCC_OBS_ENABLED
+    // The registry observe trails the telemetry mutex; poll it too.
+    for (int i = 0;
+         i < 400 && findMetric("service.queue_wait_us").count < 32;
+         ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(findMetric("service.queue_wait_us").count, 32u);
+#endif
+}
+
+TEST_F(ServiceDaemonTest, FlightRecorderDumpIsValidJson)
+{
+    startDaemon();
+    ServiceClient client;
+    client.connect(socket_);
+    (void)client.query(busQuery(Scheme::Base, 4));
+    (void)client.query(networkQuery(Scheme::SoftwareFlush, 6));
+    // Flight records land after the responses are flushed; wait for
+    // the sampled gauge to show both before dumping.
+    (void)scrapeUntilAtLeast(client, "service_flight_records", 2.0);
+
+    const std::string path = daemon_->dumpFlightRecorder();
+    EXPECT_EQ(path, socket_ + ".flight.json");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const obs::JsonValue doc = obs::parseJson(text.str());
+    ASSERT_TRUE(doc.isObject());
+    const obs::JsonValue *recorder = doc.find("flight_recorder");
+    ASSERT_NE(recorder, nullptr);
+    EXPECT_GE(recorder->find("capacity")->number, 16.0);
+    EXPECT_GE(recorder->find("total_recorded")->number, 2.0);
+    const obs::JsonValue *records = recorder->find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_TRUE(records->isArray());
+    ASSERT_GE(records->array.size(), 2u);
+    for (const obs::JsonValue &record : records->array) {
+        EXPECT_GE(record.find("trace_id")->number, 1.0);
+        EXPECT_GE(record.find("total_ns")->number, 0.0);
+        EXPECT_GE(record.find("batch_size")->number, 1.0);
+        EXPECT_FALSE(record.find("scheme")->string.empty());
+        EXPECT_TRUE(record.find("ok")->boolean);
+    }
+    ::unlink(path.c_str());
+}
+
+TEST_F(ServiceDaemonTest, SlowQueryLogEmitsParseableJson)
+{
+    // Threshold of 1 µs: every completed query counts as slow.
+    DaemonConfig config;
+    config.socketPath = socket_;
+    config.workers = 1;
+    config.batchMax = 4;
+    config.slowQueryUs = 1;
+    daemon_ = std::make_unique<ServiceDaemon>(config);
+    daemon_->start();
+    ASSERT_TRUE(ServiceClient::waitForServer(socket_, 5000));
+
+    std::ostringstream captured;
+    const obs::LogLevel saved = obs::logLevel();
+    obs::setLogSink(&captured);
+    obs::setLogLevel(obs::LogLevel::Warn);
+    {
+        ServiceClient client;
+        client.connect(socket_);
+        ASSERT_TRUE(client.query(busQuery(Scheme::Dragon, 24)).ok);
+    }
+    // The worker logs after completion is flushed; stopping joins the
+    // workers, so the capture below cannot race their writes.
+    daemon_->stop();
+    obs::setLogSink(nullptr);
+    obs::setLogLevel(saved);
+
+    const std::string text = captured.str();
+    const std::size_t at = text.find("{\"slow_query\"");
+    ASSERT_NE(at, std::string::npos) << text;
+    const std::size_t end = text.find('\n', at);
+    const obs::JsonValue doc =
+        obs::parseJson(text.substr(at, end - at));
+    const obs::JsonValue *entry = doc.find("slow_query");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_GE(entry->find("trace_id")->number, 1.0);
+    EXPECT_EQ(entry->find("domain")->string, "bus");
+    EXPECT_EQ(entry->find("scheme")->string, "Dragon");
+    EXPECT_EQ(entry->find("size")->number, 24.0);
+    EXPECT_GE(entry->find("queue_wait_us")->number, 0.0);
+    EXPECT_GE(entry->find("solve_us")->number, 0.0);
+    EXPECT_GE(entry->find("total_us")->number, 1.0);
+    EXPECT_GE(entry->find("batch_size")->number, 1.0);
+    EXPECT_GE(entry->find("cache_misses")->number, 0.0);
+}
+
+TEST_F(ServiceDaemonTest, TracedRunEmitsConnectedFlowAcrossThreads)
+{
+    if (!obs::compiledIn()) {
+        GTEST_SKIP() << "tracing compiles out under SWCC_OBS=OFF";
+    }
+    obs::TraceRecorder &trc = obs::tracer();
+    trc.clearForTest();
+    trc.setEnabled(true);
+    startDaemon(2, 8);
+    {
+        ServiceClient client;
+        client.connect(socket_);
+        for (unsigned i = 0; i < 16; ++i) {
+            client.sendQuery(busQuery(Scheme::Base, 1 + i % 32));
+        }
+        for (unsigned i = 0; i < 16; ++i) {
+            ASSERT_TRUE(client.recvResult().ok);
+        }
+    }
+    daemon_->stop();
+    trc.setEnabled(false);
+    std::ostringstream os;
+    trc.writeChromeTrace(os);
+
+    std::string error;
+    const obs::JsonValue doc = obs::parseJson(os.str());
+    ASSERT_TRUE(obs::validateChromeTrace(doc, &error)) << error;
+
+    // Collect flow events by trace id: a connected chain has a start
+    // ('s') and an end ('f'), and its events span >= 2 threads (the
+    // connection thread and a batching worker).
+    struct Flow
+    {
+        bool start = false, end = false;
+        std::vector<double> tids;
+    };
+    std::map<double, Flow> flows;
+    std::set<std::string> spanNames;
+    for (const obs::JsonValue &event :
+         doc.find("traceEvents")->array) {
+        const std::string &ph = event.find("ph")->string;
+        if (ph == "X") {
+            spanNames.insert(event.find("name")->string);
+        }
+        if (ph != "s" && ph != "t" && ph != "f") {
+            continue;
+        }
+        Flow &flow = flows[event.find("id")->number];
+        flow.start |= ph == "s";
+        flow.end |= ph == "f";
+        flow.tids.push_back(event.find("tid")->number);
+    }
+    for (const char *name :
+         {"svc.decode", "svc.batch", "svc.solve", "svc.send"}) {
+        EXPECT_TRUE(spanNames.count(name)) << name;
+    }
+    std::size_t connected = 0;
+    for (const auto &[id, flow] : flows) {
+        std::set<double> distinct(flow.tids.begin(),
+                                  flow.tids.end());
+        if (flow.start && flow.end && distinct.size() >= 2) {
+            ++connected;
+        }
+    }
+    EXPECT_GE(connected, 1u) << "no flow chain crossed threads";
 }
 
 using ServiceParallelTest = DaemonFixture;
