@@ -6,6 +6,8 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/swcc.hh"
 
@@ -21,22 +23,19 @@ runFigure(const char *title, Level level, unsigned max_cpus)
     std::cout << "=== " << title << " (ls=" << formatNumber(params.ls, 2)
               << ", shd=" << formatNumber(params.shd, 2) << ") ===\n\n";
 
-    TextTable table({"cpus", "Ideal", "Base", "Dragon", "Software-Flush",
-                     "No-Cache"});
+    std::vector<std::string> headers{"cpus", "Ideal"};
+    for (Scheme scheme : kAllSchemes) {
+        headers.emplace_back(schemeName(scheme));
+    }
+    TextTable table(headers);
     for (unsigned n = 1; n <= max_cpus; ++n) {
-        table.addRow(
-            {formatNumber(n, 0), formatNumber(n, 0),
-             formatNumber(
-                 evaluateBus(Scheme::Base, params, n).processingPower, 2),
-             formatNumber(
-                 evaluateBus(Scheme::Dragon, params, n).processingPower,
-                 2),
-             formatNumber(evaluateBus(Scheme::SoftwareFlush, params, n)
-                              .processingPower,
-                          2),
-             formatNumber(
-                 evaluateBus(Scheme::NoCache, params, n).processingPower,
-                 2)});
+        std::vector<std::string> row{formatNumber(n, 0),
+                                     formatNumber(n, 0)};
+        for (Scheme scheme : kAllSchemes) {
+            row.push_back(formatNumber(
+                evaluateBus(scheme, params, n).processingPower, 2));
+        }
+        table.addRow(row);
     }
     table.print(std::cout);
     exportCsv(table, std::string("fig04_05_06_schemes_") +

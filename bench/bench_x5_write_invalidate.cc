@@ -20,11 +20,15 @@
 namespace
 {
 
-/** Both protocols simulated on one profile's trace. */
+/** Every protocol simulated on one profile's trace. */
 struct ProfileComparison
 {
     swcc::SimStats dragon;
     swcc::SimStats inval;
+    swcc::SimStats mesi;
+    swcc::SimStats mesif;
+    swcc::SimStats moesi;
+    swcc::SimStats hybrid;
     swcc::InvalidateMeasurements measured;
 };
 
@@ -64,6 +68,15 @@ main()
             MultiprocessorSystem inval_system(std::move(protocol));
             result.inval = inval_system.run(trace);
             result.measured = inval_protocol.measurements();
+
+            const auto run_scheme = [&](Scheme scheme) {
+                MultiprocessorSystem system(scheme, cache, 4);
+                return system.run(trace);
+            };
+            result.mesi = run_scheme(Scheme::Mesi);
+            result.mesif = run_scheme(Scheme::Mesif);
+            result.moesi = run_scheme(Scheme::Moesi);
+            result.hybrid = run_scheme(Scheme::Hybrid);
             return result;
         });
 
@@ -86,10 +99,35 @@ main()
     }
     sim_table.print(std::cout);
 
+    std::cout << "\nInvalidate-family variants on the same traces:\n\n";
+    TextTable family_table({"profile", "MESI", "MESIF", "MOESI",
+                            "Adaptive-Hybrid", "MESI cache-fills",
+                            "MESIF cache-fills", "MOESI cache-fills"});
+    const auto cache_fills = [](const SimStats &stats) {
+        return formatNumber(
+            static_cast<double>(
+                stats.opCount(Operation::CleanMissCache) +
+                stats.opCount(Operation::DirtyMissCache)),
+            0);
+    };
+    for (std::size_t i = 0; i < kAllProfiles.size(); ++i) {
+        const ProfileComparison &result = comparisons[i];
+        family_table.addRow(
+            {std::string(profileName(kAllProfiles[i])),
+             formatNumber(result.mesi.processingPower(), 3),
+             formatNumber(result.mesif.processingPower(), 3),
+             formatNumber(result.moesi.processingPower(), 3),
+             formatNumber(result.hybrid.processingPower(), 3),
+             cache_fills(result.mesi), cache_fills(result.mesif),
+             cache_fills(result.moesi)});
+    }
+    family_table.print(std::cout);
+
     std::cout << "\nAnalytical model, 16 CPUs, medium parameters, "
                  "sweeping the write-run length:\n\n";
     TextTable model_table({"apl", "firstWrite", "Dragon", "Invalidate "
-                           "(reref .2)", "Invalidate (reref .8)"});
+                           "(reref .2)", "Invalidate (reref .8)",
+                           "MESI", "MESIF", "MOESI", "Hybrid"});
     for (double apl : {2.0, 4.0, 8.0, 16.0, 64.0}) {
         WorkloadParams params = middleParams();
         params.apl = apl;
@@ -102,13 +140,18 @@ main()
             return evaluateInvalidateBus(params, 16, config)
                 .processingPower;
         };
+        auto scheme_power = [&](Scheme scheme) {
+            return formatNumber(
+                evaluateBus(scheme, params, 16).processingPower, 2);
+        };
         model_table.addRow(
             {formatNumber(apl, 0), formatNumber(first, 2),
-             formatNumber(
-                 evaluateBus(Scheme::Dragon, params, 16)
-                     .processingPower, 2),
+             scheme_power(Scheme::Dragon),
              formatNumber(inval_power(0.2), 2),
-             formatNumber(inval_power(0.8), 2)});
+             formatNumber(inval_power(0.8), 2),
+             scheme_power(Scheme::Mesi), scheme_power(Scheme::Mesif),
+             scheme_power(Scheme::Moesi),
+             scheme_power(Scheme::Hybrid)});
     }
     model_table.print(std::cout);
 

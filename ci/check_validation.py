@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Gate a `swcc validate` CSV against its checked-in golden.
+
+Usage: check_validation.py GOLDEN_CSV ACTUAL_CSV [TOLERANCE]
+
+Both files are `cpus,sim power,model power,error %` tables written by
+`swcc validate --csv-out`. The gate fails when the two runs cover
+different CPU counts or when any row's model-vs-simulator error drifts
+by more than TOLERANCE percentage points (default 2.0) from the golden
+run — i.e. the analytical tables and the trace simulator moved apart.
+Exact FP equality is deliberately not required: different compilers may
+round the last digit differently, and the golden is a regression bound,
+not a bit-for-bit artifact.
+"""
+
+import csv
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit(f"{path}: no data rows")
+    try:
+        return {int(r["cpus"]): float(r["error %"]) for r in rows}
+    except (KeyError, ValueError) as err:
+        sys.exit(f"{path}: not a validate CSV ({err})")
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        sys.exit(__doc__)
+    golden = load(argv[1])
+    actual = load(argv[2])
+    tolerance = float(argv[3]) if len(argv) == 4 else 2.0
+
+    if golden.keys() != actual.keys():
+        sys.exit(
+            f"CPU counts differ: golden {sorted(golden)} "
+            f"vs actual {sorted(actual)}"
+        )
+
+    failures = []
+    for cpus in sorted(golden):
+        drift = abs(actual[cpus] - golden[cpus])
+        status = "ok  " if drift <= tolerance else "FAIL"
+        print(
+            f"{status} cpus={cpus:3d} golden={golden[cpus]:+6.1f}% "
+            f"actual={actual[cpus]:+6.1f}% drift={drift:.1f}"
+        )
+        if drift > tolerance:
+            failures.append(cpus)
+
+    if failures:
+        sys.exit(
+            f"validation error drifted past ±{tolerance} points at "
+            f"cpus={failures}"
+        )
+    print(f"all rows within ±{tolerance} points of golden")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,6 +1,9 @@
 #include "core/frequency_model.hh"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/per_instruction.hh"
 
 namespace swcc
 {
@@ -104,6 +107,138 @@ dragonFrequencies(const WorkloadParams &p)
     return freqs;
 }
 
+/**
+ * Fraction of shared writes that open a write run. A run of apl shared
+ * references contains about wr*apl writes; only the first one finds
+ * remote copies to kill (the rest hit a line the invalidation made
+ * exclusive), so invalidations fire at 1/(wr*apl) per shared write,
+ * capped at one.
+ */
+double
+firstWriteFraction(const WorkloadParams &p)
+{
+    const double writes_per_run = p.wr * p.apl;
+    return writes_per_run <= 1.0 ? 1.0 : 1.0 / writes_per_run;
+}
+
+/**
+ * Invalidate-family frequency table (MESI and variants).
+ *
+ * Derivation, in the formalism of Table 6, from the eleven Table 2
+ * parameters alone:
+ *
+ *  - Invalidations: the first write of each run that finds remote
+ *    copies present broadcasts an invalidation (priced as the
+ *    1-bus-cycle word broadcast), frequency
+ *    ls*shd*wr*opres*firstWrite. Each destroys nshd remote copies,
+ *    stealing one snoop cycle per copy, exactly like a Dragon update.
+ *
+ *  - Coherence misses: a destroyed copy whose owner would have been
+ *    present at the writer's next write (probability opres, the same
+ *    steady-state presence that made the invalidation fire) is
+ *    re-referenced and misses again. The writer holds the block dirty,
+ *    so coherence misses are cache-supplied:
+ *    coherence = invalidations * nshd * opres.
+ *
+ *  - Ordinary misses split exactly as Dragon's Table 6: a fraction
+ *    from_cache of shared-data misses finds the block dirty in another
+ *    cache and is cache-supplied (the owner supplies and memory is
+ *    updated, Illinois-style).
+ *
+ * @param from_cache Fraction of shared-data misses that are
+ *        cache-supplied (the MESIF forwarder raises this over MESI).
+ * @param md Dirty-victim fraction to use for the miss split (MOESI's
+ *        deferred Owned write-backs raise it over the measured md).
+ */
+FrequencyVector
+invalidateFamilyFrequencies(const WorkloadParams &p, double from_cache,
+                            double md)
+{
+    FrequencyVector freqs;
+    const double inval =
+        p.ls * p.shd * p.wr * p.opres * firstWriteFraction(p);
+    const double coherence = inval * p.nshd * p.opres;
+    const double mem_miss = p.ls * p.msdat * (1.0 - from_cache) + p.mains;
+    const double cache_miss = p.ls * p.msdat * from_cache + coherence;
+    freqs.set(Operation::InstrExec, 1.0);
+    freqs.set(Operation::CleanMissMem, mem_miss * (1.0 - md));
+    freqs.set(Operation::DirtyMissMem, mem_miss * md);
+    freqs.set(Operation::CleanMissCache, cache_miss * (1.0 - md));
+    freqs.set(Operation::DirtyMissCache, cache_miss * md);
+    freqs.set(Operation::WriteBroadcast, inval);
+    freqs.set(Operation::CycleSteal, inval * p.nshd);
+    return freqs;
+}
+
+/** MESI: the plain invalidate table (dirty-owner cache supply only). */
+FrequencyVector
+mesiFrequencies(const WorkloadParams &p)
+{
+    return invalidateFamilyFrequencies(p, p.shd * (1.0 - p.oclean),
+                                       p.md);
+}
+
+/**
+ * MESIF: one clean holder is the designated forwarder, so clean-shared
+ * misses whose block is still present in some cache (probability
+ * opres, the steady-state presence) are cache-supplied too:
+ * from_cache = shd * ((1 - oclean) + oclean*opres).
+ */
+FrequencyVector
+mesifFrequencies(const WorkloadParams &p)
+{
+    const double from_cache =
+        p.shd * ((1.0 - p.oclean) + p.oclean * p.opres);
+    return invalidateFamilyFrequencies(p, from_cache, p.md);
+}
+
+/**
+ * MOESI: a dirty owner supplying a miss keeps ownership (Owned) and
+ * memory stays stale, so the write-back the Illinois supply performed
+ * eagerly is deferred to the owner's eviction instead. Every
+ * cache-supplied miss (all of which an owner serves in MOESI) leaves
+ * one extra dirty line to evict later, raising the dirty-victim
+ * fraction from md to md + (1 - md) * cache_miss / total_miss. With
+ * ls = 0 no misses are cache-supplied and the table collapses to
+ * Base, preserving the paper's "schemes coincide" property.
+ */
+FrequencyVector
+moesiFrequencies(const WorkloadParams &p)
+{
+    const double from_cache = p.shd * (1.0 - p.oclean);
+    const double inval =
+        p.ls * p.shd * p.wr * p.opres * firstWriteFraction(p);
+    const double coherence = inval * p.nshd * p.opres;
+    const double mem_miss =
+        p.ls * p.msdat * (1.0 - from_cache) + p.mains;
+    const double cache_miss = p.ls * p.msdat * from_cache + coherence;
+    const double total_miss = mem_miss + cache_miss;
+    const double md = total_miss > 0.0
+        ? p.md + (1.0 - p.md) * cache_miss / total_miss
+        : p.md;
+    return invalidateFamilyFrequencies(p, from_cache, md);
+}
+
+/**
+ * Adaptive hybrid: the per-block saturating counter of the simulator
+ * protocol converges, in the aggregate, on whichever pure policy moves
+ * the workload cheaper — so the table is the cheaper of Dragon
+ * (update) and MESI (invalidate) by uncontended cycles per instruction
+ * under the Table 1 costs, with the update table winning ties (the
+ * protocol starts every block in update mode).
+ */
+FrequencyVector
+hybridFrequencies(const WorkloadParams &p)
+{
+    const FrequencyVector update = dragonFrequencies(p);
+    const FrequencyVector invalidate = mesiFrequencies(p);
+    const BusCostModel costs;
+    const double update_cycles = perInstructionCost(update, costs).cpu;
+    const double invalidate_cycles =
+        perInstructionCost(invalidate, costs).cpu;
+    return invalidate_cycles < update_cycles ? invalidate : update;
+}
+
 } // namespace
 
 FrequencyVector
@@ -115,6 +250,10 @@ operationFrequencies(Scheme scheme, const WorkloadParams &params)
       case Scheme::NoCache:       return noCacheFrequencies(params);
       case Scheme::SoftwareFlush: return softwareFlushFrequencies(params);
       case Scheme::Dragon:        return dragonFrequencies(params);
+      case Scheme::Mesi:          return mesiFrequencies(params);
+      case Scheme::Mesif:         return mesifFrequencies(params);
+      case Scheme::Moesi:         return moesiFrequencies(params);
+      case Scheme::Hybrid:        return hybridFrequencies(params);
     }
     throw std::invalid_argument("unknown Scheme");
 }

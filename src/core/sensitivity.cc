@@ -109,8 +109,9 @@ sensitivityTable(const SensitivityConfig &config,
                  const campaign::CampaignOptions &options,
                  campaign::CampaignReport *report)
 {
-    // Table 8 column order.
-    constexpr std::array<Scheme, kNumSchemes> column_order = {
+    // Table 8 column order: the paper's four schemes only — the
+    // extension family is not part of the Table 8 reproduction.
+    constexpr std::array<Scheme, kNumPaperSchemes> column_order = {
         Scheme::SoftwareFlush, Scheme::NoCache, Scheme::Dragon,
         Scheme::Base,
     };
@@ -125,7 +126,7 @@ sensitivityTable(const SensitivityConfig &config,
         Scheme scheme;
     };
     std::vector<Cell> cells;
-    cells.reserve(kNumParams * kNumSchemes);
+    cells.reserve(kNumParams * column_order.size());
     for (ParamId param : kAllParams) {
         for (Scheme scheme : column_order) {
             cells.push_back({param, scheme});

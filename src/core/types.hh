@@ -23,8 +23,11 @@ namespace swcc
 /**
  * Cache-coherence scheme evaluated by the model.
  *
- * The enumerators match the four workload models of the paper's
- * Section 2.2 (Tables 3-6).
+ * The first four enumerators match the four workload models of the
+ * paper's Section 2.2 (Tables 3-6); the remainder extend the snoopy
+ * hardware family with the invalidate-based protocols (MESI, MESIF,
+ * MOESI) and an adaptive update/invalidate hybrid, each with its own
+ * frequency table and simulator protocol.
  */
 enum class Scheme : std::uint8_t
 {
@@ -36,13 +39,34 @@ enum class Scheme : std::uint8_t
     SoftwareFlush,
     /** Dragon write-broadcast snoopy hardware protocol (Table 6). */
     Dragon,
+    /** Illinois/MESI write-invalidate snoopy protocol. */
+    Mesi,
+    /** MESI plus a clean-forwarder (F) state supplying shared misses. */
+    Mesif,
+    /** MESI plus an Owned state deferring dirty write-backs. */
+    Moesi,
+    /** Adaptive per-block update/invalidate hybrid (Dragon vs MESI). */
+    Hybrid,
 };
 
 /** Number of schemes in @ref Scheme. */
-inline constexpr std::size_t kNumSchemes = 4;
+inline constexpr std::size_t kNumSchemes = 8;
 
-/** All schemes, in paper order, for iteration. */
+/** Number of schemes evaluated by the paper itself. */
+inline constexpr std::size_t kNumPaperSchemes = 4;
+
+/** All schemes, paper order first, then the extension family. */
 inline constexpr std::array<Scheme, kNumSchemes> kAllSchemes = {
+    Scheme::Base,  Scheme::NoCache, Scheme::SoftwareFlush, Scheme::Dragon,
+    Scheme::Mesi,  Scheme::Mesif,   Scheme::Moesi,         Scheme::Hybrid,
+};
+
+/**
+ * The paper's four schemes, in paper order — for call sites that
+ * reproduce a paper artifact exactly (e.g. the Table 8 sensitivity
+ * columns) and must not grow with the extension family.
+ */
+inline constexpr std::array<Scheme, kNumPaperSchemes> kPaperSchemes = {
     Scheme::Base, Scheme::NoCache, Scheme::SoftwareFlush, Scheme::Dragon,
 };
 
@@ -60,6 +84,10 @@ schemeName(Scheme scheme)
       case Scheme::NoCache:       return "No-Cache";
       case Scheme::SoftwareFlush: return "Software-Flush";
       case Scheme::Dragon:        return "Dragon";
+      case Scheme::Mesi:          return "MESI";
+      case Scheme::Mesif:         return "MESIF";
+      case Scheme::Moesi:         return "MOESI";
+      case Scheme::Hybrid:        return "Adaptive-Hybrid";
     }
     return "unknown";
 }
@@ -74,7 +102,19 @@ schemeName(Scheme scheme)
 constexpr bool
 schemeWorksOnNetwork(Scheme scheme)
 {
-    return scheme != Scheme::Dragon;
+    switch (scheme) {
+      case Scheme::Dragon:
+      case Scheme::Mesi:
+      case Scheme::Mesif:
+      case Scheme::Moesi:
+      case Scheme::Hybrid:
+        return false;
+      case Scheme::Base:
+      case Scheme::NoCache:
+      case Scheme::SoftwareFlush:
+        return true;
+    }
+    return false;
 }
 
 /** Cycle counts are modelled as real numbers (expected values). */

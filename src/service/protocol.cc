@@ -139,6 +139,14 @@ schemeFromToken(std::string_view token, Scheme &scheme)
         scheme = Scheme::SoftwareFlush;
     } else if (name == "dragon") {
         scheme = Scheme::Dragon;
+    } else if (name == "mesi") {
+        scheme = Scheme::Mesi;
+    } else if (name == "mesif") {
+        scheme = Scheme::Mesif;
+    } else if (name == "moesi") {
+        scheme = Scheme::Moesi;
+    } else if (name == "hybrid" || name == "adaptive-hybrid") {
+        scheme = Scheme::Hybrid;
     } else {
         return false;
     }
@@ -233,7 +241,8 @@ parseJsonRequest(std::string_view line, RequestFrame &frame)
                 !schemeFromToken(value.string, frame.query.scheme)) {
                 frame.fieldError =
                     "unknown scheme (expected base, nocache, "
-                    "softwareflush, or dragon)";
+                    "softwareflush, dragon, mesi, mesif, moesi, or "
+                    "hybrid)";
                 return;
             }
         } else if (key == "size" || key == "n" || key == "cpus" ||

@@ -118,6 +118,10 @@ ServiceKernel::validate(const Query &query) const
       case Scheme::NoCache:
       case Scheme::SoftwareFlush:
       case Scheme::Dragon:
+      case Scheme::Mesi:
+      case Scheme::Mesif:
+      case Scheme::Moesi:
+      case Scheme::Hybrid:
         break;
       default:
         return "unknown scheme";

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Adaptive update/invalidate hybrid snoopy protocol.
+ *
+ * Every block starts in *update* (Dragon) mode: stores to shared lines
+ * broadcast the written word and remote copies update in place. A
+ * per-block saturating counter tracks how useful those broadcasts are:
+ * a broadcast is *wasted* when no other processor touched the block
+ * since the same writer's previous broadcast (the classic adaptive-
+ * hybrid heuristic of the gem5 MESI/Dragon hybrid). When the counter
+ * saturates past the switch threshold the block flips to *invalidate*
+ * (MESI) mode — the next shared store kills the remote copies instead
+ * of updating them, and subsequent writes in the run are free. A
+ * coherence miss (a processor re-referencing a copy it lost to an
+ * invalidation) is evidence the block is actively shared again and
+ * decays the counter, flipping the block back to update mode once it
+ * drops below the threshold.
+ */
+
+#ifndef SWCC_SIM_CACHE_HYBRID_PROTOCOL_HH
+#define SWCC_SIM_CACHE_HYBRID_PROTOCOL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/cache/coherence.hh"
+
+namespace swcc
+{
+
+/** Counters describing a hybrid run's policy activity. */
+struct HybridMeasurements
+{
+    /** Word broadcasts issued while in update mode. */
+    std::uint64_t updateBroadcasts = 0;
+    /** ... of which no remote processor read since the writer's
+     *  previous broadcast (the "wasted" signal). */
+    std::uint64_t wastedBroadcasts = 0;
+    /** Invalidation bus operations issued while in invalidate mode. */
+    std::uint64_t invalidations = 0;
+    /** Remote copies destroyed across all invalidations. */
+    std::uint64_t copiesInvalidated = 0;
+    /** Misses to blocks lost to a remote invalidation. */
+    std::uint64_t coherenceMisses = 0;
+    /** Block-policy flips update → invalidate. */
+    std::uint64_t switchesToInvalidate = 0;
+    /** Block-policy flips invalidate → update. */
+    std::uint64_t switchesToUpdate = 0;
+};
+
+/**
+ * Per-block adaptive update/invalidate protocol.
+ *
+ * Uses the Dragon state machine (Exclusive, Dirty, SharedClean,
+ * SharedDirty ownership) for update-mode traffic and the MESI actions
+ * for invalidate-mode stores; misses are always supplied by a dirty
+ * owner when one exists, Dragon-style.
+ */
+class HybridProtocol : public CoherenceProtocol
+{
+  public:
+    /** Saturation ceiling of the per-block wasted-broadcast counter. */
+    static constexpr std::uint8_t kCounterMax = 7;
+    /** Counter value at which a block flips to invalidate mode. */
+    static constexpr std::uint8_t kSwitchThreshold = 4;
+
+    HybridProtocol(const CacheConfig &cache_config, CpuId num_cpus);
+
+    void access(CpuId cpu, RefType type, Addr addr,
+                AccessResult &out) override;
+
+    std::string_view name() const override { return "Adaptive-Hybrid"; }
+
+    const HybridMeasurements &measurements() const { return measured_; }
+
+    /** True if @p block is currently in invalidate mode (for tests). */
+    bool inInvalidateMode(Addr block) const;
+
+  private:
+    /** Per-block adaptive policy state, created on first broadcast. */
+    struct BlockPolicy
+    {
+        /** Saturating wasted-broadcast counter in [0, kCounterMax]. */
+        std::uint8_t wasted = 0;
+        /** Processor that issued the block's last broadcast. */
+        CpuId lastWriter = 0;
+        /** A processor other than lastWriter touched the block since
+         *  the last broadcast (makes the next broadcast "useful"). */
+        bool remoteAccessSinceWrite = true;
+        /** Current policy: false = update (Dragon), true = MESI. */
+        bool invalidateMode = false;
+    };
+
+    /** Handles a load/ifetch/store miss; returns the installed line. */
+    CacheLine &handleMiss(CpuId cpu, RefType type, Addr addr,
+                          AccessResult &out);
+
+    /** Dragon-style word broadcast updating remote copies in place. */
+    void broadcastUpdate(CpuId cpu, CacheLine &line, AccessResult &out,
+                         BlockPolicy &policy);
+
+    /** MESI-style invalidation of every remote copy. */
+    void broadcastInvalidate(CpuId cpu, CacheLine &line,
+                             AccessResult &out);
+
+    HybridMeasurements measured_;
+    /** Block → adaptive policy; entries appear on first broadcast. */
+    std::unordered_map<Addr, BlockPolicy> policy_;
+    /** Blocks each cache lost to a remote invalidation. */
+    std::vector<std::unordered_set<Addr>> lostBlocks_;
+};
+
+} // namespace swcc
+
+#endif // SWCC_SIM_CACHE_HYBRID_PROTOCOL_HH

@@ -1,0 +1,187 @@
+#include "sim/cache/mesi_family_protocol.hh"
+
+namespace swcc
+{
+
+MesiFamilyProtocol::MesiFamilyProtocol(MesiVariant variant,
+                                       const CacheConfig &cache_config,
+                                       CpuId num_cpus)
+    : CoherenceProtocol(cache_config, num_cpus), variant_(variant),
+      lostBlocks_(num_cpus)
+{
+}
+
+int
+MesiFamilyProtocol::forwarderOf(Addr block) const
+{
+    const auto it = forwarder_.find(block);
+    return it == forwarder_.end() ? -1 : static_cast<int>(it->second);
+}
+
+unsigned
+MesiFamilyProtocol::invalidateRemotes(CpuId cpu, Addr block,
+                                      AccessResult &out)
+{
+    unsigned copies = 0;
+    forEachOtherHolder(cpu, block, [&](CpuId other, CacheLine &line) {
+        ++copies;
+        invalidateLine(other, line);
+        lostBlocks_[other].insert(block);
+        // The victim's controller spends a snoop cycle killing the
+        // line, exactly like a Dragon update.
+        out.steals.push_back(other);
+    });
+    measured_.copiesInvalidated += copies;
+    // The writer now holds the sole (dirty) copy, so no clean
+    // forwarder for the block can exist.
+    if (variant_ == MesiVariant::Mesif) {
+        forwarder_.erase(block);
+    }
+    return copies;
+}
+
+CacheLine &
+MesiFamilyProtocol::handleMiss(CpuId cpu, RefType type, Addr addr,
+                               AccessResult &out)
+{
+    Cache &cache = caches_[cpu];
+    const Addr block = cache.blockAddr(addr);
+
+    if (lostBlocks_[cpu].erase(block) > 0) {
+        ++measured_.coherenceMisses;
+    }
+
+    CacheLine &victim = cache.victimFor(addr);
+    const bool victim_valid = victim.state != LineState::Invalid;
+    const Addr victim_block = victim.blockAddr;
+    const bool dirty_victim = evict(cpu, victim);
+    if (variant_ == MesiVariant::Mesif && victim_valid) {
+        // An evicted forwarder copy silently drops the slot; the next
+        // shared miss to the block re-seats it (or goes to memory).
+        const auto it = forwarder_.find(victim_block);
+        if (it != forwarder_.end() && it->second == cpu) {
+            forwarder_.erase(it);
+        }
+    }
+
+    bool supplied_by_owner = false;
+    unsigned holders = 0;
+    forEachOtherHolder(cpu, block, [&](CpuId other, CacheLine &line) {
+        ++holders;
+        if (isDirtyState(line.state)) {
+            supplied_by_owner = true;
+            if (variant_ == MesiVariant::Moesi) {
+                // MOESI: the owner supplies the block and *keeps*
+                // ownership (Owned); memory stays stale and the
+                // write-back is deferred to the owner's eviction.
+                setLineState(other, line, LineState::SharedDirty);
+            } else {
+                // Illinois: the owner supplies the block and memory is
+                // updated in the same transaction; the owner keeps a
+                // shared clean copy.
+                setLineState(other, line, LineState::SharedClean);
+            }
+        } else if (line.state == LineState::Exclusive) {
+            setLineState(other, line, LineState::SharedClean);
+        }
+    });
+
+    bool supplied_by_cache = supplied_by_owner;
+    if (supplied_by_owner) {
+        ++measured_.ownerSupplies;
+    } else if (variant_ == MesiVariant::Mesif && holders > 0 &&
+               forwarder_.contains(block)) {
+        // The clean forwarder supplies the block cache-to-cache.
+        supplied_by_cache = true;
+        ++measured_.forwardSupplies;
+    }
+
+    if (supplied_by_cache) {
+        out.addOp(dirty_victim ? Operation::DirtyMissCache
+                               : Operation::CleanMissCache);
+    } else {
+        out.addOp(dirty_victim ? Operation::DirtyMissMem
+                               : Operation::CleanMissMem);
+    }
+
+    fillLine(cpu, victim, addr,
+             holders > 0 ? LineState::SharedClean
+                         : LineState::Exclusive);
+    if (variant_ == MesiVariant::Mesif) {
+        if (holders > 0) {
+            // The newest sharer takes the forwarder slot (real MESIF
+            // hands F to the most recent requester, keeping the slot
+            // on the copy least likely to be evicted soon).
+            forwarder_[block] = cpu;
+        } else {
+            forwarder_.erase(block);
+        }
+    }
+
+    if (type == RefType::Store) {
+        // Read-for-ownership: kill the other copies and write.
+        if (holders > 0) {
+            out.addOp(Operation::WriteBroadcast);
+            ++measured_.invalidations;
+            invalidateRemotes(cpu, block, out);
+        }
+        CacheLine *line = cache.find(addr);
+        setLineState(cpu, *line, LineState::Dirty);
+        return *line;
+    }
+    return victim;
+}
+
+void
+MesiFamilyProtocol::access(CpuId cpu, RefType type, Addr addr,
+                           AccessResult &out)
+{
+    out.reset();
+    if (type == RefType::Flush) {
+        // Hardware coherence: flushes are unnecessary no-ops.
+        return;
+    }
+
+    Cache &cache = caches_[cpu];
+
+    CacheLine *line = cache.find(addr);
+    if (line == nullptr) {
+        handleMiss(cpu, type, addr, out);
+        return;
+    }
+    cache.touch(*line);
+
+    if (type != RefType::Store) {
+        return;
+    }
+
+    switch (line->state) {
+      case LineState::Exclusive:
+      case LineState::Dirty:
+        setLineState(cpu, *line, LineState::Dirty);
+        return;
+      case LineState::SharedClean: {
+        out.addOp(Operation::WriteBroadcast);
+        ++measured_.invalidations;
+        invalidateRemotes(cpu, cache.blockAddr(addr), out);
+        setLineState(cpu, *line, LineState::Dirty);
+        return;
+      }
+      case LineState::SharedDirty:
+        if (variant_ == MesiVariant::Moesi) {
+            // The owner upgrades: invalidate the other sharers and
+            // return to the sole-dirty state.
+            out.addOp(Operation::WriteBroadcast);
+            ++measured_.invalidations;
+            invalidateRemotes(cpu, cache.blockAddr(addr), out);
+            setLineState(cpu, *line, LineState::Dirty);
+            return;
+        }
+        [[fallthrough]];
+      case LineState::Invalid:
+        throw std::logic_error(
+            "MESI-family store reached an impossible line state");
+    }
+}
+
+} // namespace swcc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The invalidate-based snoopy protocol family: MESI, MESIF, MOESI.
+ *
+ * One driver implements all three variants, because they share the
+ * Illinois skeleton — a store to a shared line broadcasts an
+ * invalidation killing every remote copy; misses to a block dirty
+ * elsewhere are supplied by the owning cache — and differ only in two
+ * policy points:
+ *
+ *  - MESIF adds a clean-forwarder slot: one clean sharer per block is
+ *    designated to supply shared misses cache-to-cache, so clean-shared
+ *    misses no longer go to memory.
+ *  - MOESI adds the Owned state (mapped onto LineState::SharedDirty):
+ *    a dirty owner supplying a miss keeps ownership and memory stays
+ *    stale, deferring the write-back to the owner's eviction.
+ *
+ * MESI itself is behaviorally identical to the standalone
+ * InvalidateProtocol extension, which the tests exploit as a
+ * cross-implementation oracle.
+ */
+
+#ifndef SWCC_SIM_CACHE_MESI_FAMILY_PROTOCOL_HH
+#define SWCC_SIM_CACHE_MESI_FAMILY_PROTOCOL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/cache/coherence.hh"
+
+namespace swcc
+{
+
+/** Which member of the invalidate family a driver instance runs. */
+enum class MesiVariant : std::uint8_t
+{
+    Mesi,
+    Mesif,
+    Moesi,
+};
+
+/** The Scheme a variant corresponds to. */
+constexpr Scheme
+mesiVariantScheme(MesiVariant variant)
+{
+    switch (variant) {
+      case MesiVariant::Mesi:  return Scheme::Mesi;
+      case MesiVariant::Mesif: return Scheme::Mesif;
+      case MesiVariant::Moesi: return Scheme::Moesi;
+    }
+    return Scheme::Mesi;
+}
+
+/** Counters describing a MESI-family run's coherence activity. */
+struct MesiFamilyMeasurements
+{
+    /** Invalidation bus operations issued. */
+    std::uint64_t invalidations = 0;
+    /** Remote copies destroyed across all invalidations. */
+    std::uint64_t copiesInvalidated = 0;
+    /** Misses to blocks this cache once held but lost to a remote
+     *  write (coherence misses). */
+    std::uint64_t coherenceMisses = 0;
+    /** Misses supplied by a dirty (or Owned) remote cache. */
+    std::uint64_t ownerSupplies = 0;
+    /** Misses supplied by the MESIF clean forwarder. */
+    std::uint64_t forwardSupplies = 0;
+};
+
+/**
+ * MESI / MESIF / MOESI snooping driver.
+ *
+ * States: Exclusive (clean, sole copy), Dirty (modified, sole copy),
+ * SharedClean, and — MOESI only — SharedDirty as the Owned state
+ * (modified, shared, memory stale). A store to a shared line is costed
+ * as the 1-bus-cycle word broadcast of Table 1 and destroys every
+ * remote copy, each victim cache losing one snoop cycle.
+ */
+class MesiFamilyProtocol : public CoherenceProtocol
+{
+  public:
+    MesiFamilyProtocol(MesiVariant variant,
+                       const CacheConfig &cache_config, CpuId num_cpus);
+
+    void access(CpuId cpu, RefType type, Addr addr,
+                AccessResult &out) override;
+
+    std::string_view name() const override
+    {
+        return schemeName(mesiVariantScheme(variant_));
+    }
+
+    MesiVariant variant() const { return variant_; }
+
+    const MesiFamilyMeasurements &measurements() const
+    {
+        return measured_;
+    }
+
+    /**
+     * The CPU currently holding @p block's clean-forwarder slot, or
+     * -1 when no forwarder exists (MESIF only; for tests).
+     */
+    int forwarderOf(Addr block) const;
+
+  private:
+    /** Handles a miss; returns the installed line. */
+    CacheLine &handleMiss(CpuId cpu, RefType type, Addr addr,
+                          AccessResult &out);
+
+    /** Invalidates every remote copy of @p block; returns the count. */
+    unsigned invalidateRemotes(CpuId cpu, Addr block, AccessResult &out);
+
+    MesiVariant variant_;
+    MesiFamilyMeasurements measured_;
+    /** Blocks each cache lost to a remote invalidation. */
+    std::vector<std::unordered_set<Addr>> lostBlocks_;
+    /** MESIF: block → CPU holding the clean-forwarder (F) slot. */
+    std::unordered_map<Addr, CpuId> forwarder_;
+};
+
+} // namespace swcc
+
+#endif // SWCC_SIM_CACHE_MESI_FAMILY_PROTOCOL_HH

@@ -9,6 +9,8 @@
 #include "core/obs/metrics.hh"
 #include "sim/cache/base_protocol.hh"
 #include "sim/cache/dragon_protocol.hh"
+#include "sim/cache/hybrid_protocol.hh"
+#include "sim/cache/mesi_family_protocol.hh"
 #include "sim/cache/nocache_protocol.hh"
 #include "sim/cache/swflush_protocol.hh"
 
@@ -33,6 +35,17 @@ makeProtocol(Scheme scheme, const CacheConfig &cache_config,
       case Scheme::Dragon:
         return std::make_unique<DragonProtocol>(cache_config, num_cpus,
                                                 std::move(shared));
+      case Scheme::Mesi:
+        return std::make_unique<MesiFamilyProtocol>(
+            MesiVariant::Mesi, cache_config, num_cpus);
+      case Scheme::Mesif:
+        return std::make_unique<MesiFamilyProtocol>(
+            MesiVariant::Mesif, cache_config, num_cpus);
+      case Scheme::Moesi:
+        return std::make_unique<MesiFamilyProtocol>(
+            MesiVariant::Moesi, cache_config, num_cpus);
+      case Scheme::Hybrid:
+        return std::make_unique<HybridProtocol>(cache_config, num_cpus);
     }
     throw std::invalid_argument("unknown Scheme");
 }

@@ -70,7 +70,18 @@ INSTANTIATE_TEST_SUITE_P(
         std::tuple{Scheme::Dragon, ParamId::Msdat},
         std::tuple{Scheme::Dragon, ParamId::Shd},
         std::tuple{Scheme::Dragon, ParamId::Nshd},
-        std::tuple{Scheme::Dragon, ParamId::Opres}));
+        std::tuple{Scheme::Dragon, ParamId::Opres},
+        std::tuple{Scheme::Mesi, ParamId::Msdat},
+        std::tuple{Scheme::Mesi, ParamId::Shd},
+        std::tuple{Scheme::Mesi, ParamId::Opres},
+        std::tuple{Scheme::Mesi, ParamId::Nshd},
+        std::tuple{Scheme::Mesi, ParamId::InvApl},
+        std::tuple{Scheme::Mesif, ParamId::Msdat},
+        std::tuple{Scheme::Mesif, ParamId::Shd},
+        std::tuple{Scheme::Moesi, ParamId::Msdat},
+        std::tuple{Scheme::Moesi, ParamId::Nshd},
+        std::tuple{Scheme::Hybrid, ParamId::Msdat},
+        std::tuple{Scheme::Hybrid, ParamId::Shd}));
 
 /** Base dominates every scheme at every Table 7 corner. */
 class DominanceTest : public ::testing::TestWithParam<Level>
@@ -82,10 +93,52 @@ TEST_P(DominanceTest, BaseIsAnUpperBoundEverywhere)
     const WorkloadParams params = paramsAtLevel(GetParam());
     const double base = power(Scheme::Base, params);
     for (Scheme scheme : {Scheme::NoCache, Scheme::SoftwareFlush,
-                          Scheme::Dragon}) {
+                          Scheme::Dragon, Scheme::Mesi, Scheme::Mesif,
+                          Scheme::Moesi, Scheme::Hybrid}) {
         EXPECT_LE(power(scheme, params), base + 1e-9)
             << schemeName(scheme) << " at " << levelName(GetParam());
     }
+}
+
+TEST_P(DominanceTest, MesifForwarderNeverHurts)
+{
+    // The forwarder only converts memory-supplied misses into cheaper
+    // cache-supplied ones, so MESIF weakly dominates MESI.
+    const WorkloadParams params = paramsAtLevel(GetParam());
+    EXPECT_GE(power(Scheme::Mesif, params),
+              power(Scheme::Mesi, params) - 1e-9)
+        << levelName(GetParam());
+}
+
+TEST_P(DominanceTest, MoesiDeferredWritebacksNeverHelp)
+{
+    // Under the Table 1 costs the Illinois owner supply updates memory
+    // for free, so deferring the write-back (raising the dirty-victim
+    // fraction) can only cost; MESI weakly dominates MOESI.
+    const WorkloadParams params = paramsAtLevel(GetParam());
+    EXPECT_LE(power(Scheme::Moesi, params),
+              power(Scheme::Mesi, params) + 1e-9)
+        << levelName(GetParam());
+}
+
+TEST_P(DominanceTest, HybridMatchesOnePurePolicy)
+{
+    // The hybrid table is, by construction, exactly the cheaper of the
+    // Dragon and MESI tables — never a third thing.
+    const WorkloadParams params = paramsAtLevel(GetParam());
+    const FrequencyVector hybrid =
+        operationFrequencies(Scheme::Hybrid, params);
+    const FrequencyVector dragon =
+        operationFrequencies(Scheme::Dragon, params);
+    const FrequencyVector mesi =
+        operationFrequencies(Scheme::Mesi, params);
+    bool is_dragon = true;
+    bool is_mesi = true;
+    for (Operation op : kAllOperations) {
+        is_dragon = is_dragon && hybrid.of(op) == dragon.of(op);
+        is_mesi = is_mesi && hybrid.of(op) == mesi.of(op);
+    }
+    EXPECT_TRUE(is_dragon || is_mesi) << levelName(GetParam());
 }
 
 TEST_P(DominanceTest, BusAndNetworkAgreeOnSchemeOrdering)
@@ -107,6 +160,69 @@ TEST_P(DominanceTest, BusAndNetworkAgreeOnSchemeOrdering)
 
 INSTANTIATE_TEST_SUITE_P(Levels, DominanceTest,
                          ::testing::ValuesIn(kAllLevels));
+
+TEST(HybridPolicyTest, CrossoverFollowsRunLength)
+{
+    // Short runs (apl small): almost every shared write opens a run,
+    // invalidation buys nothing and costs coherence misses, so the
+    // hybrid keeps the Dragon table. Long runs: one invalidation
+    // amortizes over many now-free writes and the MESI table wins.
+    const auto matches = [](double apl, Scheme pure) {
+        WorkloadParams params = middleParams();
+        params.apl = apl;
+        const FrequencyVector hybrid =
+            operationFrequencies(Scheme::Hybrid, params);
+        const FrequencyVector expected =
+            operationFrequencies(pure, params);
+        for (Operation op : kAllOperations) {
+            if (hybrid.of(op) != expected.of(op)) {
+                return false;
+            }
+        }
+        return true;
+    };
+    EXPECT_TRUE(matches(1.0, Scheme::Dragon));
+    EXPECT_TRUE(matches(4.0, Scheme::Dragon));
+    EXPECT_TRUE(matches(16.0, Scheme::Mesi));
+    EXPECT_TRUE(matches(64.0, Scheme::Mesi));
+}
+
+TEST(InvalidateFamilyModelTest, SchemesCollapseToBaseWithoutSharing)
+{
+    // With shd = 0 no invalidations, coherence misses, or forwarder
+    // supplies exist; every family member prices exactly like Base.
+    WorkloadParams params = middleParams();
+    params.shd = 0.0;
+    const double base = power(Scheme::Base, params);
+    for (Scheme scheme : {Scheme::Mesi, Scheme::Mesif, Scheme::Moesi,
+                          Scheme::Hybrid}) {
+        EXPECT_NEAR(power(scheme, params), base, 1e-9)
+            << schemeName(scheme);
+    }
+}
+
+TEST(InvalidateFamilyModelTest, FirstWriteFractionShapesInvalidations)
+{
+    // Table check: invalidations fire once per write run —
+    // ls*shd*wr*opres/(wr*apl) of instructions when runs hold more
+    // than one write — and each steals nshd snoop cycles.
+    WorkloadParams p = middleParams();
+    p.apl = 32.0;
+    const FrequencyVector f = operationFrequencies(Scheme::Mesi, p);
+    const double inval =
+        p.ls * p.shd * p.wr * p.opres / (p.wr * p.apl);
+    EXPECT_NEAR(f.of(Operation::WriteBroadcast), inval, 1e-12);
+    EXPECT_NEAR(f.of(Operation::CycleSteal), inval * p.nshd, 1e-12);
+    // Coherence misses land in the cache-supplied miss classes on top
+    // of the Dragon-style shared-miss split.
+    const double coherence = inval * p.nshd * p.opres;
+    const double from_cache = p.shd * (1.0 - p.oclean);
+    EXPECT_NEAR(f.totalMisses(),
+                p.ls * p.msdat + p.mains + coherence, 1e-12);
+    EXPECT_NEAR(f.of(Operation::CleanMissCache) +
+                    f.of(Operation::DirtyMissCache),
+                p.ls * p.msdat * from_cache + coherence, 1e-12);
+}
 
 TEST(ScalingTest, PowerPerProcessorNeverImproves)
 {

@@ -61,14 +61,30 @@ TEST(SchemeTest, NamesMatchPaper)
     EXPECT_EQ(schemeName(Scheme::NoCache), "No-Cache");
     EXPECT_EQ(schemeName(Scheme::SoftwareFlush), "Software-Flush");
     EXPECT_EQ(schemeName(Scheme::Dragon), "Dragon");
+    EXPECT_EQ(schemeName(Scheme::Mesi), "MESI");
+    EXPECT_EQ(schemeName(Scheme::Mesif), "MESIF");
+    EXPECT_EQ(schemeName(Scheme::Moesi), "MOESI");
+    EXPECT_EQ(schemeName(Scheme::Hybrid), "Adaptive-Hybrid");
 }
 
-TEST(SchemeTest, OnlySnoopySchemeNeedsABus)
+TEST(SchemeTest, OnlySnoopySchemesNeedABus)
 {
     EXPECT_TRUE(schemeWorksOnNetwork(Scheme::Base));
     EXPECT_TRUE(schemeWorksOnNetwork(Scheme::NoCache));
     EXPECT_TRUE(schemeWorksOnNetwork(Scheme::SoftwareFlush));
     EXPECT_FALSE(schemeWorksOnNetwork(Scheme::Dragon));
+    EXPECT_FALSE(schemeWorksOnNetwork(Scheme::Mesi));
+    EXPECT_FALSE(schemeWorksOnNetwork(Scheme::Mesif));
+    EXPECT_FALSE(schemeWorksOnNetwork(Scheme::Moesi));
+    EXPECT_FALSE(schemeWorksOnNetwork(Scheme::Hybrid));
+}
+
+TEST(SchemeTest, PaperSchemesAreTheFirstFour)
+{
+    ASSERT_EQ(kPaperSchemes.size(), kNumPaperSchemes);
+    for (std::size_t i = 0; i < kNumPaperSchemes; ++i) {
+        EXPECT_EQ(kPaperSchemes[i], kAllSchemes[i]);
+    }
 }
 
 TEST(SchemeTest, AllSchemesListsEveryEnumeratorOnce)

@@ -155,10 +155,17 @@ TEST_F(ServiceKernelTest, RejectsOutOfRangeSizes)
 
 TEST_F(ServiceKernelTest, RejectsSnoopySchemesOnTheNetwork)
 {
-    // Dragon needs a broadcast bus (paper §6); Base and the software
+    // Dragon needs a broadcast bus (paper §6), and the invalidate
+    // family and the hybrid snoop the same bus; Base and the software
     // schemes work with any processor-memory interconnect.
-    EXPECT_FALSE(
-        kernel_.validate(networkQuery(Scheme::Dragon, 6)).empty());
+    for (Scheme scheme : {Scheme::Dragon, Scheme::Mesi, Scheme::Mesif,
+                          Scheme::Moesi, Scheme::Hybrid}) {
+        EXPECT_FALSE(
+            kernel_.validate(networkQuery(scheme, 6)).empty())
+            << schemeName(scheme);
+        EXPECT_TRUE(kernel_.validate(busQuery(scheme, 6)).empty())
+            << schemeName(scheme);
+    }
     EXPECT_TRUE(
         kernel_.validate(networkQuery(Scheme::Base, 6)).empty());
     EXPECT_TRUE(
@@ -427,6 +434,33 @@ TEST_F(ServiceProtocolTest, ControlRequestsRoundTrip)
         EXPECT_EQ(frame.kind, kind);
         EXPECT_TRUE(frame.fieldError.empty());
     }
+}
+
+TEST_F(ServiceProtocolTest, EverySchemeRoundTripsOnBothEncodings)
+{
+    // Binary frames carry the enum value, JSON frames the name token;
+    // both must survive the round trip for every scheme, including
+    // the invalidate family and the hybrid.
+    for (Scheme scheme : kAllSchemes) {
+        std::vector<std::uint8_t> bytes;
+        appendQueryRequest(bytes, busQuery(scheme, 8));
+        EXPECT_EQ(decodeOne(bytes).query.scheme, scheme)
+            << "binary " << schemeName(scheme);
+
+        const RequestFrame frame = decodeOne(
+            toBytes(queryToJson(busQuery(scheme, 8)) + "\n"));
+        EXPECT_TRUE(frame.fieldError.empty()) << frame.fieldError;
+        EXPECT_EQ(frame.query.scheme, scheme)
+            << "json " << schemeName(scheme);
+    }
+}
+
+TEST_F(ServiceProtocolTest, UnknownSchemeTokenIsAFieldError)
+{
+    const RequestFrame frame = decodeOne(toBytes(
+        "{\"domain\":\"bus\",\"scheme\":\"mosi\",\"cpus\":4}\n"));
+    EXPECT_NE(frame.fieldError.find("unknown scheme"),
+              std::string::npos);
 }
 
 TEST_F(ServiceProtocolTest, TruncatedFramesAskForMoreBytes)

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/obs/metrics.hh"
 #include "core/parallel.hh"
 #include "sim/cache/invalidate_protocol.hh"
 #include "sim/mp/system.hh"
@@ -118,6 +119,33 @@ TEST(GoldenStatsTest, UpdateSchemesMatchReferenceScanAtLargeCpuCounts)
     }
 }
 
+TEST(GoldenStatsTest, NewProtocolsMatchReferenceScanAtLargeCpuCounts)
+{
+    // Same contract for the invalidate family and the hybrid: the
+    // sharer-index fast path (including the dirty-holder bitset the
+    // MOESI Owned state and the hybrid's Dragon fills lean on) must
+    // not change a single statistic versus the reference scan.
+    for (const CpuId cpus : {CpuId{32}, CpuId{48}}) {
+        const SyntheticWorkloadConfig workload =
+            profileConfig(AppProfile::PeroLike, cpus, 3'000, 17, false);
+        const TraceBuffer trace = generateTrace(workload);
+        const SharedClassifier shared = workload.sharedClassifier();
+
+        for (Scheme scheme : {Scheme::Mesi, Scheme::Mesif,
+                              Scheme::Moesi, Scheme::Hybrid}) {
+            MultiprocessorSystem reference(scheme, cache64k(), cpus,
+                                           shared);
+            MultiprocessorSystem directory(scheme, cache64k(), cpus,
+                                           shared);
+            EXPECT_EQ(
+                runOn(reference, trace, SnoopPath::ReferenceScan),
+                runOn(directory, trace, SnoopPath::Directory))
+                << schemeName(scheme) << ", " << unsigned{cpus}
+                << " cpus";
+        }
+    }
+}
+
 TEST(GoldenStatsTest, SweepStatisticsAreThreadCountInvariant)
 {
     ValidationConfig config;
@@ -168,6 +196,70 @@ TEST(GoldenStatsTest, DirectoryFallsBackBeyondSixtyFourCpus)
     EXPECT_EQ(requested.run(trace).serialize(),
               scan.run(trace).serialize());
 }
+
+TEST(GoldenStatsTest, NewProtocolsFallBackBeyondSixtyFourCpus)
+{
+    // The warn-once fallback must degrade every extension protocol to
+    // the reference scan cleanly, with identical statistics to an
+    // explicitly requested scan.
+    constexpr CpuId kCpus = 68;
+    CacheConfig small;
+    small.sizeBytes = 4096;
+    small.blockBytes = 16;
+    small.associativity = 2;
+
+    TraceBuffer trace;
+    for (CpuId cpu = 0; cpu < kCpus; ++cpu) {
+        trace.append(cpu, RefType::Load, 0x8000'0000);
+        trace.append(cpu, RefType::Store, 0x8000'0000);
+    }
+
+    for (Scheme scheme : {Scheme::Mesi, Scheme::Mesif, Scheme::Moesi,
+                          Scheme::Hybrid}) {
+        MultiprocessorSystem requested(scheme, small, kCpus);
+        requested.setSnoopPath(SnoopPath::Directory);
+        EXPECT_EQ(requested.protocol().snoopPath(),
+                  SnoopPath::ReferenceScan)
+            << schemeName(scheme);
+
+        MultiprocessorSystem scan(scheme, small, kCpus);
+        scan.setSnoopPath(SnoopPath::ReferenceScan);
+        EXPECT_EQ(requested.run(trace).serialize(),
+                  scan.run(trace).serialize())
+            << schemeName(scheme);
+    }
+}
+
+#if SWCC_OBS_ENABLED
+TEST(GoldenStatsTest, SnoopPathGaugeTracksTheEffectivePath)
+{
+    // sim.snoop_path.directory is a last-write-wins gauge published at
+    // construction and on every setSnoopPath(); it must report the
+    // effective path — including the silent >64-CPU fallback — for
+    // the new protocols too.
+    obs::Gauge &gauge =
+        obs::metrics().gauge("sim.snoop_path.directory");
+
+    for (Scheme scheme : {Scheme::Mesi, Scheme::Mesif, Scheme::Moesi,
+                          Scheme::Hybrid}) {
+        MultiprocessorSystem system(scheme, cache64k(), 4);
+        EXPECT_DOUBLE_EQ(gauge.value(), 1.0) << schemeName(scheme);
+        system.setSnoopPath(SnoopPath::ReferenceScan);
+        EXPECT_DOUBLE_EQ(gauge.value(), 0.0) << schemeName(scheme);
+        system.setSnoopPath(SnoopPath::Directory);
+        EXPECT_DOUBLE_EQ(gauge.value(), 1.0) << schemeName(scheme);
+
+        CacheConfig small;
+        small.sizeBytes = 4096;
+        small.blockBytes = 16;
+        small.associativity = 2;
+        MultiprocessorSystem large(scheme, small, 68);
+        EXPECT_DOUBLE_EQ(gauge.value(), 0.0) << schemeName(scheme);
+        large.setSnoopPath(SnoopPath::Directory); // Falls back.
+        EXPECT_DOUBLE_EQ(gauge.value(), 0.0) << schemeName(scheme);
+    }
+}
+#endif
 
 TEST(GoldenStatsTest, SnoopPathCannotChangeOnAWarmSystem)
 {

@@ -137,6 +137,29 @@ TEST(CliTest, EvalBusPrintsEveryScheme)
     EXPECT_NE(output.find("Dragon"), std::string::npos);
     EXPECT_NE(output.find("Software-Flush"), std::string::npos);
     EXPECT_NE(output.find("No-Cache"), std::string::npos);
+    EXPECT_NE(output.find("MESI"), std::string::npos);
+    EXPECT_NE(output.find("MESIF"), std::string::npos);
+    EXPECT_NE(output.find("MOESI"), std::string::npos);
+    EXPECT_NE(output.find("Adaptive-Hybrid"), std::string::npos);
+}
+
+TEST(CliTest, SimParsesEveryProtocolFamilyScheme)
+{
+    const std::string path = ::testing::TempDir() + "/cli_family.swcc";
+    std::string output;
+    ASSERT_EQ(runCli({"gen", "--profile", "pops-like", "--cpus", "2",
+                      "--instructions", "5000", "--out", path},
+                     &output),
+              0);
+    for (const char *scheme :
+         {"mesi", "mesif", "moesi", "adaptive-hybrid"}) {
+        ASSERT_EQ(runCli({"sim", path, "--scheme", scheme}, &output),
+                  0)
+            << scheme;
+        EXPECT_NE(output.find("processing power"), std::string::npos)
+            << scheme;
+    }
+    std::remove(path.c_str());
 }
 
 TEST(CliTest, EvalNetworkIncludesDirectoryExtension)
@@ -196,7 +219,7 @@ TEST(CliTest, StatWithoutFileFails)
 TEST(CliTest, SimUnknownSchemeFails)
 {
     std::string output;
-    EXPECT_EQ(runCli({"sim", "x.swcc", "--scheme", "mesi"}, &output), 2);
+    EXPECT_EQ(runCli({"sim", "x.swcc", "--scheme", "mosi"}, &output), 2);
     EXPECT_NE(output.find("unknown scheme"), std::string::npos);
 }
 

@@ -42,7 +42,8 @@ schemeFromName(const std::string &name)
     }
     throw std::invalid_argument(
         "unknown scheme '" + name +
-        "' (expected base, no-cache, software-flush, or dragon)");
+        "' (expected base, no-cache, software-flush, dragon, mesi, "
+        "mesif, moesi, or adaptive-hybrid)");
 }
 
 AppProfile
@@ -466,8 +467,9 @@ cmdSweep(const Options &options, std::ostream &out)
     WorkloadParams base = workloadFromOptions(options);
 
     const std::vector<Scheme> schemes = {
-        Scheme::Base, Scheme::Dragon, Scheme::SoftwareFlush,
-        Scheme::NoCache,
+        Scheme::Base,  Scheme::Dragon, Scheme::SoftwareFlush,
+        Scheme::NoCache, Scheme::Mesi, Scheme::Mesif, Scheme::Moesi,
+        Scheme::Hybrid,
     };
     const campaign::CampaignOptions campaign =
         campaignFromOptions(options);
@@ -477,7 +479,8 @@ cmdSweep(const Options &options, std::ostream &out)
                        base, cpus, schemes, campaign, &report);
 
     TextTable table({*param_name, "Base", "Dragon", "Software-Flush",
-                     "No-Cache"});
+                     "No-Cache", "MESI", "MESIF", "MOESI",
+                     "Adaptive-Hybrid"});
     for (const SweepRow &grid_row : rows) {
         std::vector<std::string> row{formatNumber(grid_row.value, 4)};
         for (double power : grid_row.power) {
